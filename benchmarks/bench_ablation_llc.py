@@ -1,0 +1,61 @@
+"""Ablation — LLC capacity sweep (paper Section VII-B).
+
+The paper sizes future accelerator memory systems from the characterization:
+2 MB/core suffices for everything except ad, survival, and tickets; 10
+MB/core additionally covers ad and survival; tickets needs more still. This
+bench sweeps per-core LLC capacity with the machine model and finds each
+workload's requirement.
+"""
+
+import dataclasses
+
+from conftest import print_table
+
+from repro.arch.machine import MachineModel
+from repro.arch.platforms import SKYLAKE
+from repro.suite import workload_names
+
+PER_CORE_MB = (1, 2, 4, 10, 16, 24)
+N_CORES = 4
+
+
+def minimum_llc_per_core(profile, per_core_options):
+    """Smallest swept per-core LLC keeping the workload under 1 MPKI."""
+    for per_core in per_core_options:
+        platform = dataclasses.replace(
+            SKYLAKE, llc_mb=float(per_core * N_CORES)
+        )
+        counters = MachineModel(platform).counters(profile, N_CORES, 4)
+        if counters.llc_mpki < 1.0:
+            return per_core
+    return None
+
+
+def build_sweep(runner):
+    return {
+        name: minimum_llc_per_core(runner.profile(name), PER_CORE_MB)
+        for name in workload_names()
+    }
+
+
+def test_ablation_llc_capacity(runner, benchmark):
+    needs = benchmark.pedantic(build_sweep, args=(runner,), rounds=1, iterations=1)
+    rows = [
+        f"{name:<10s} {str(need) + ' MB/core' if need else '> 24 MB/core':>14s}"
+        for name, need in needs.items()
+    ]
+    print_table(
+        "Ablation: minimum per-core LLC for < 1 MPKI (4 cores)",
+        f"{'workload':<10s} {'LLC need':>14s}", rows,
+    )
+
+    # Paper Section VII-B: 2 MB/core is enough for everything except the
+    # three LLC-bound workloads...
+    for name in workload_names():
+        if name not in ("ad", "survival", "tickets"):
+            assert needs[name] is not None and needs[name] <= 2, name
+    # ...10 MB/core also covers ad and survival...
+    assert needs["ad"] is not None and 2 < needs["ad"] <= 10
+    assert needs["survival"] is not None and 2 < needs["survival"] <= 10
+    # ...and tickets needs more than 10 MB/core.
+    assert needs["tickets"] is None or needs["tickets"] > 10

@@ -1,0 +1,63 @@
+"""Ablation — which static feature predicts LLC-boundedness?
+
+DESIGN.md calls out the choice of predictor feature. The paper uses modeled
+data size; this ablation checks it against the other static features a
+scheduler could read (parameter dimension, code footprint) by classification
+accuracy against the machine-model labels.
+"""
+
+from conftest import print_table
+
+from repro.arch.machine import MachineModel
+from repro.arch.platforms import SKYLAKE
+from repro.core.predictor import LlcMissPredictor, PredictionPoint
+from repro.suite import workload_names
+
+FEATURES = {
+    "modeled_data_bytes": lambda p: p.modeled_data_bytes,
+    "dim": lambda p: p.dim,
+    "code_footprint": lambda p: p.code_footprint_bytes,
+    "tape_nodes": lambda p: p.tape_nodes,
+}
+
+
+def build_ablation(runner):
+    machine = MachineModel(SKYLAKE)
+    profiles = [
+        runner.profile(name, scale=scale)
+        for name in workload_names()
+        for scale in (1.0, 0.5, 0.25)
+    ]
+    labels = {
+        id(p): machine.counters(p, 4, 4).llc_mpki >= 1.0 for p in profiles
+    }
+    accuracies = {}
+    for feature_name, extract in FEATURES.items():
+        points = [
+            PredictionPoint(p.name, extract(p),
+                            machine.counters(p, 4, 4).llc_mpki)
+            for p in profiles
+        ]
+        predictor = LlcMissPredictor().fit(points)
+        correct = sum(
+            predictor.predict_llc_bound(extract(p)) == labels[id(p)]
+            for p in profiles
+        )
+        accuracies[feature_name] = correct / len(profiles)
+    return accuracies
+
+
+def test_ablation_predictor_features(runner, benchmark):
+    accuracies = benchmark.pedantic(
+        build_ablation, args=(runner,), rounds=1, iterations=1
+    )
+    rows = [f"{name:<22s} {100 * acc:>8.1f}%" for name, acc in accuracies.items()]
+    print_table(
+        "Ablation: LLC-bound classification accuracy by static feature",
+        f"{'feature':<22s} {'accuracy':>9s}", rows,
+    )
+    # The paper's feature must be (near-)perfect and at least as good as
+    # the alternatives.
+    assert accuracies["modeled_data_bytes"] >= 0.9
+    for other in ("dim", "code_footprint"):
+        assert accuracies["modeled_data_bytes"] >= accuracies[other]

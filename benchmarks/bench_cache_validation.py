@@ -1,0 +1,58 @@
+"""Validation — the analytical LLC curve against the cache simulator.
+
+The machine model's capacity-share miss-rate curve is an approximation; this
+bench drives the set-associative LRU simulator with chain-interleaved traces
+across a grid of (working set, active chains) and checks that the analytical
+curve classifies fit-vs-thrash identically and tracks the simulated rates.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.arch.trace import analytical_miss_rate, measure_llc_miss_rate
+
+LLC_BYTES = 1024 * 1024   # a scaled-down LLC keeps the simulation fast
+GRID = [
+    (64 * 1024, 1), (64 * 1024, 4),
+    (192 * 1024, 2), (192 * 1024, 4),
+    (384 * 1024, 2), (384 * 1024, 4),
+    (768 * 1024, 1), (768 * 1024, 2),
+]
+
+
+def build():
+    rows = []
+    pairs = []
+    for ws, chains in GRID:
+        simulated = measure_llc_miss_rate(ws, chains, LLC_BYTES, sweeps=2)
+        analytical = analytical_miss_rate(ws, chains, LLC_BYTES)
+        pairs.append((simulated, analytical, ws * chains))
+        rows.append(
+            f"{ws // 1024:>6d} {chains:>6d} {ws * chains / LLC_BYTES:>9.2f} "
+            f"{simulated:>10.3f} {analytical:>10.3f}"
+        )
+    return rows, pairs
+
+
+def test_cache_model_validation(benchmark):
+    rows, pairs = benchmark.pedantic(build, rounds=1, iterations=1)
+    print_table(
+        "Validation: simulated vs analytical LLC miss rate",
+        f"{'WS KB':>6s} {'chains':>6s} {'occupancy':>9s} "
+        f"{'simulated':>10s} {'analytic':>10s}",
+        rows,
+    )
+    for simulated, analytical, occupancy in pairs:
+        fits = occupancy <= 0.9 * LLC_BYTES
+        if fits:
+            assert analytical == 0.0
+            assert simulated < 0.15
+        else:
+            assert analytical > 0.1
+            assert simulated > 0.1
+    # Rank correlation between the two curves across the grid.
+    sims = np.array([s for s, _, _ in pairs])
+    anas = np.array([a for _, a, _ in pairs])
+    sim_rank = np.argsort(np.argsort(sims))
+    ana_rank = np.argsort(np.argsort(anas))
+    assert np.corrcoef(sim_rank, ana_rank)[0, 1] > 0.7

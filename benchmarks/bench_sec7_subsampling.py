@@ -1,0 +1,72 @@
+"""Section VII-B — cache-fitting data subsampling recommendations.
+
+"Simply scaling up the LLC is not the solution. Instead, the inference
+algorithm should be tuned to subsample the data such that the working set
+fits the LLC." This bench produces that recommendation for every workload on
+both platforms and checks it is self-consistent: after applying the
+recommended fraction, the machine model sees no capacity misses.
+"""
+
+import dataclasses
+
+from conftest import print_table
+
+from repro.arch.machine import MachineModel
+from repro.arch.platforms import BROADWELL, SKYLAKE
+from repro.core.subsample import _scaled_working_set, recommend_subsample
+from repro.suite import workload_names
+
+
+def build(runner):
+    plans = {}
+    for platform in (SKYLAKE, BROADWELL):
+        for name in workload_names():
+            plans[(name, platform.codename)] = recommend_subsample(
+                runner.profile(name), platform, n_active_chains=4
+            )
+    return plans
+
+
+def test_sec7_subsampling_recommendations(runner, benchmark):
+    plans = benchmark.pedantic(build, args=(runner,), rounds=1, iterations=1)
+    rows = []
+    for name in workload_names():
+        sky = plans[(name, "Skylake")]
+        bdw = plans[(name, "Broadwell")]
+        rows.append(
+            f"{name:<10s} {100 * sky.data_fraction:>9.0f}% "
+            f"{100 * bdw.data_fraction:>11.0f}%"
+        )
+    print_table(
+        "Section VII-B: data fraction that fits the LLC (4 active chains)",
+        f"{'workload':<10s} {'Skylake':>10s} {'Broadwell':>12s}",
+        rows,
+    )
+
+    # LLC-bound workloads need subsampling on Skylake; the rest do not.
+    for name in ("ad", "survival", "tickets"):
+        assert plans[(name, "Skylake")].subsampling_needed, name
+    for name in ("votes", "ode", "disease", "racial", "butterfly", "12cities"):
+        assert not plans[(name, "Skylake")].subsampling_needed, name
+    # Broadwell's 40 MB LLC removes the need for ad and survival.
+    assert not plans[("ad", "Broadwell")].subsampling_needed
+    assert not plans[("survival", "Broadwell")].subsampling_needed
+
+    # Self-consistency: applying the recommended fraction removes capacity
+    # misses in the machine model.
+    for (name, platform_name), plan in plans.items():
+        if not plan.subsampling_needed or not plan.fits:
+            continue
+        platform = SKYLAKE if platform_name == "Skylake" else BROADWELL
+        profile = runner.profile(name)
+        shrunk = dataclasses.replace(
+            profile,
+            modeled_data_bytes=int(profile.modeled_data_bytes * plan.data_fraction),
+            tape_bytes=int(profile.tape_bytes * plan.data_fraction),
+            tape_intermediate_bytes=int(
+                profile.tape_intermediate_bytes * plan.data_fraction
+            ),
+            tape_gather_bytes=int(profile.tape_gather_bytes * plan.data_fraction),
+        )
+        counters = MachineModel(platform).counters(shrunk, n_cores=4, n_chains=4)
+        assert counters.llc_mpki < 1.0, (name, platform_name)

@@ -1,0 +1,14 @@
+"""Table II — the experiment platforms."""
+
+from conftest import print_table
+
+from repro.arch.platforms import BROADWELL, SKYLAKE, TABLE2_HEADER
+
+
+def test_table2_platforms(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [SKYLAKE.row(), BROADWELL.row()], rounds=1, iterations=1
+    )
+    print_table("Table II: experiment platforms", TABLE2_HEADER, rows)
+    assert "i7-6700K" in rows[0]
+    assert "E5-2697A v4" in rows[1]

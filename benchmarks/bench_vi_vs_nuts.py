@@ -1,0 +1,59 @@
+"""Section II-B — why the paper characterizes sampling, not variational
+inference.
+
+"Variational inference ... does not output posterior distributions as
+sampling algorithms do, and does not have guarantees to be asymptotically
+exact. They are not as robust as sampling algorithms." This bench quantifies
+the trade on two workloads: ADVI is far cheaper in gradient evaluations but
+its mean-field posterior diverges from the NUTS posterior by much more than
+sampling noise.
+"""
+
+from conftest import print_table
+
+import numpy as np
+
+from repro.diagnostics import gaussian_kl
+from repro.inference import ADVI
+from repro.suite import load_workload
+
+WORKLOADS = ("12cities", "disease")
+
+
+def build(runner):
+    rows = []
+    checks = {}
+    for name in WORKLOADS:
+        result = runner.run(name)
+        nuts_draws = result.pooled(second_half_only=True)
+        nuts_work = result.total_work
+
+        model = runner.model(name)
+        rng = np.random.default_rng(21)
+        fit = ADVI(n_iterations=1200).fit(model, rng)
+        vi_draws = fit.sample(nuts_draws.shape[0], rng)
+
+        half = nuts_draws.shape[0] // 2
+        noise = gaussian_kl(nuts_draws[:half], nuts_draws[half:])
+        gap = gaussian_kl(vi_draws, nuts_draws)
+        rows.append(
+            f"{name:<10s} {nuts_work:>10.0f} {fit.n_gradient_evaluations:>9d} "
+            f"{noise:>9.4f} {gap:>9.4f}"
+        )
+        checks[name] = (nuts_work, fit.n_gradient_evaluations, noise, gap)
+    return rows, checks
+
+
+def test_vi_vs_nuts_tradeoff(runner, benchmark):
+    rows, checks = benchmark.pedantic(build, args=(runner,), rounds=1,
+                                      iterations=1)
+    print_table(
+        "Section II-B: ADVI vs NUTS (cost in gradient evals, quality in KL)",
+        f"{'workload':<10s} {'NUTS work':>10s} {'VI work':>9s} "
+        f"{'KL noise':>9s} {'KL VI':>9s}",
+        rows,
+    )
+    for name, (nuts_work, vi_work, noise, gap) in checks.items():
+        # VI is cheaper per fit but leaves a quality gap above sampling noise.
+        assert vi_work < nuts_work, name
+        assert gap > 2 * noise, name

@@ -1,0 +1,61 @@
+"""Characterize BayesSuite workloads and schedule them across platforms.
+
+Reproduces the paper's Section V flow end to end on three workloads:
+
+1. measure each workload's static features (modeled data size) and profile
+   it with a short calibration run;
+2. simulate hardware counters on both Table II platforms;
+3. fit the LLC-miss predictor and let the scheduler place each job;
+4. compare against the all-Broadwell baseline.
+
+Run:  python examples/characterize_and_schedule.py
+"""
+
+from repro.arch import BROADWELL, SKYLAKE, MachineModel, profile_workload
+from repro.core.predictor import LlcMissPredictor, characterization_points
+from repro.core.scheduler import PlatformScheduler
+from repro.inference import NUTS, run_chains
+from repro.suite import load_workload
+
+WORKLOADS = ("votes", "ad", "tickets")   # compute-bound, LLC-bound, extreme
+
+
+def main():
+    print("profiling workloads (short calibration runs)...")
+    models = {name: load_workload(name) for name in WORKLOADS}
+    profiles = {
+        name: profile_workload(model, calibration_iterations=30)
+        for name, model in models.items()
+    }
+
+    print(f"\n{'workload':<10s} {'data bytes':>11s} {'WS/chain MB':>12s}")
+    for name, profile in profiles.items():
+        print(f"{name:<10s} {profile.modeled_data_bytes:>11,d} "
+              f"{profile.working_set_bytes / 1e6:>12.2f}")
+
+    print(f"\n{'workload':<10s} {'platform':<10s} {'IPC':>5s} "
+          f"{'LLC MPKI':>9s} {'BW MB/s':>8s}")
+    for name, profile in profiles.items():
+        for platform in (SKYLAKE, BROADWELL):
+            c = MachineModel(platform).counters(profile, n_cores=4, n_chains=4)
+            print(f"{name:<10s} {platform.codename:<10s} {c.ipc:>5.2f} "
+                  f"{c.llc_mpki:>9.2f} {c.bandwidth_mbs:>8.0f}")
+
+    # Fit the Section V-A predictor from the characterization itself.
+    machine = MachineModel(SKYLAKE)
+    predictor = LlcMissPredictor().fit(
+        characterization_points(list(profiles.values()), machine)
+    )
+    print(f"\nLLC-bound data-size threshold: {predictor.threshold_bytes:,.0f} bytes")
+
+    scheduler = PlatformScheduler(predictor)
+    print(f"\n{'workload':<10s} {'placed on':<10s} {'speedup vs Broadwell':>20s}")
+    for name, profile in profiles.items():
+        result = run_chains(models[name], NUTS(max_tree_depth=6),
+                            n_iterations=120, n_chains=4, seed=0)
+        job = scheduler.schedule(profile, [c.total_work for c in result.chains])
+        print(f"{name:<10s} {job.platform.codename:<10s} {job.speedup:>20.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Quickstart: define a Bayesian model, run NUTS, inspect the posterior.
+
+This is the 60-second tour of the library's modeling and inference API —
+the same API every BayesSuite workload is built on.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.diagnostics import format_summary, max_rhat
+from repro.inference import NUTS, run_chains
+from repro.models import BayesianModel, ParameterSpec
+from repro.models import distributions as dist
+from repro.models.transforms import Positive
+
+
+class EightSchools(BayesianModel):
+    """The classic eight-schools hierarchical meta-analysis model
+    (non-centered parameterization)."""
+
+    name = "eight-schools"
+
+    def __init__(self):
+        super().__init__()
+        self.add_data(
+            y=np.array([28.0, 8.0, -3.0, 7.0, -1.0, 1.0, 18.0, 12.0]),
+            sigma=np.array([15.0, 10.0, 16.0, 11.0, 9.0, 11.0, 10.0, 18.0]),
+        )
+
+    @property
+    def params(self):
+        return [
+            ParameterSpec("mu", 1, init=0.0),
+            ParameterSpec("tau", 1, transform=Positive(), init=5.0),
+            ParameterSpec("theta_raw", 8, init=0.0),
+        ]
+
+    def log_joint(self, p):
+        theta = p["mu"] + p["tau"] * p["theta_raw"]
+        return (
+            dist.normal_lpdf(self.data("y"), theta, self.data("sigma"))
+            + dist.normal_lpdf(p["theta_raw"], 0.0, 1.0)
+            + dist.normal_lpdf(p["mu"], 0.0, 10.0)
+            + dist.half_cauchy_lpdf(p["tau"], 5.0)
+        )
+
+
+def main():
+    model = EightSchools()
+    print(f"model: {model.name}, {model.dim} unconstrained dimensions")
+
+    # Four chains, Stan-style: half the iterations are warmup.
+    result = run_chains(model, NUTS(), n_iterations=1000, n_chains=4, seed=42)
+
+    draws = result.stacked()
+    print(f"\nR-hat (worst parameter): {max_rhat(draws):.3f}")
+    print(f"divergences: {result.divergences}")
+    print(f"gradient evaluations per chain: {result.chain_work}")
+
+    print("\nposterior summary:")
+    print(format_summary(draws, names=model.flat_param_names()))
+
+    mu = result.constrained(model)["mu"]
+    tau = result.constrained(model)["tau"]
+    print(f"\npooled effect mu:  {mu.mean():6.2f} +- {mu.std():.2f}")
+    print(f"between-school tau: {tau.mean():6.2f} +- {tau.std():.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Reproduction of "Demystifying Bayesian Inference Workloads" (ISPASS 2019).
+
+Subpackages
+-----------
+``repro.autodiff``
+    Reverse-mode automatic differentiation over numpy (the Stan-math
+    stand-in).
+``repro.models``
+    Distributions, constrained transforms, and the ``BayesianModel`` API.
+``repro.inference``
+    Metropolis-Hastings (the paper's Algorithm 1), HMC, and NUTS with
+    Stan-style warmup adaptation; multi-chain driver with work accounting.
+``repro.diagnostics``
+    Gelman-Rubin R-hat, effective sample size, KL divergence, summaries.
+``repro.suite``
+    BayesSuite: the paper's ten workloads (Table I) with synthetic data.
+``repro.arch``
+    The simulated testbed: Table II platforms, cache simulator, workload
+    profiling, analytical multicore machine model, energy model.
+``repro.core``
+    The paper's contribution: LLC-miss prediction (Sec V-A), platform
+    scheduling (Sec V-B), computation elision via convergence detection
+    (Sec VI-A), design-space exploration (Sec VI-B), and the end-to-end
+    pipeline (Sec VI-C).
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results of every table and figure.
+"""
+
+__version__ = "1.0.0"

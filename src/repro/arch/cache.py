@@ -1,0 +1,93 @@
+"""A set-associative LRU cache simulator.
+
+Used two ways: directly by tests (invariants of LRU replacement), and by
+:mod:`repro.arch.trace` to validate the analytical occupancy -> miss-rate
+curve that :mod:`repro.arch.machine` uses for the LLC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class SetAssociativeCache:
+    """Byte-addressed set-associative cache with true-LRU replacement."""
+
+    def __init__(
+        self, size_bytes: int, line_bytes: int = 64, ways: int = 16
+    ) -> None:
+        if size_bytes <= 0 or line_bytes <= 0 or ways <= 0:
+            raise ValueError("cache geometry must be positive")
+        if size_bytes % (line_bytes * ways) != 0:
+            raise ValueError(
+                f"size {size_bytes} not divisible by line*ways = {line_bytes * ways}"
+            )
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.n_sets = size_bytes // (line_bytes * ways)
+        # Each set is an ordered list of tags, most-recently-used last.
+        self._sets: List[List[int]] = [[] for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+
+    def access(self, address: int) -> bool:
+        """Access one byte address; returns True on hit."""
+        line = address // self.line_bytes
+        set_index = line % self.n_sets
+        tag = line // self.n_sets
+        entries = self._sets[set_index]
+        self.stats.accesses += 1
+        if tag in entries:
+            entries.remove(tag)
+            entries.append(tag)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(entries) >= self.ways:
+            entries.pop(0)  # evict LRU
+        entries.append(tag)
+        return False
+
+    def access_line(self, line_number: int) -> bool:
+        """Access by cache-line number directly (trace convenience)."""
+        return self.access(line_number * self.line_bytes)
+
+    def run_trace(self, line_numbers) -> CacheStats:
+        """Run a whole trace of line numbers; returns stats for this trace."""
+        before = CacheStats(self.stats.accesses, self.stats.hits, self.stats.misses)
+        for line in line_numbers:
+            self.access_line(int(line))
+        return CacheStats(
+            accesses=self.stats.accesses - before.accesses,
+            hits=self.stats.hits - before.hits,
+            misses=self.stats.misses - before.misses,
+        )
+
+    def resident_lines(self) -> int:
+        return sum(len(entries) for entries in self._sets)
+
+    def flush(self) -> None:
+        for entries in self._sets:
+            entries.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"SetAssociativeCache({self.size_bytes}B, {self.ways}-way, "
+            f"{self.n_sets} sets)"
+        )

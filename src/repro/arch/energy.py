@@ -1,0 +1,39 @@
+"""Package power and energy model.
+
+Linear utilization model anchored at the Table II TDPs: idle (uncore +
+leakage) plus a per-active-core share of the remaining budget. This is the
+cost function the paper's design-space exploration minimizes (Section VI-B),
+so only relative accuracy across configurations matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.platforms import Platform
+
+#: Idle package power as a fraction of TDP.
+IDLE_FRACTION = 0.30
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    platform: Platform
+
+    def power_watts(self, n_cores_active: int) -> float:
+        """Package power with ``n_cores_active`` cores busy."""
+        if n_cores_active < 0 or n_cores_active > self.platform.cores:
+            raise ValueError(
+                f"{self.platform.codename}: active cores must be in "
+                f"[0, {self.platform.cores}], got {n_cores_active}"
+            )
+        tdp = self.platform.tdp_w
+        idle = IDLE_FRACTION * tdp
+        per_core = (tdp - idle) / self.platform.cores
+        return idle + per_core * n_cores_active
+
+    def energy_joules(self, n_cores_active: int, seconds: float) -> float:
+        """Energy of a job occupying ``n_cores_active`` cores for ``seconds``."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        return self.power_watts(n_cores_active) * seconds

@@ -1,0 +1,449 @@
+"""Differentiable operations on :class:`~repro.autodiff.tape.Var` nodes.
+
+Every public function accepts ``Var`` or plain numeric inputs (promoted to
+constants) and returns a ``Var`` whose ``backward_fn`` implements the exact
+vector-Jacobian product. Broadcasting follows numpy semantics; the tape layer
+un-broadcasts adjoints back to parent shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+from scipy import special as sps
+
+from repro.autodiff.tape import Var, constant
+
+ArrayLike = Union[float, int, np.ndarray, Var]
+
+
+def _as_var(x: ArrayLike) -> Var:
+    if isinstance(x, Var):
+        return x
+    return constant(x)
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic
+# ---------------------------------------------------------------------------
+
+def add(a: ArrayLike, b: ArrayLike) -> Var:
+    a, b = _as_var(a), _as_var(b)
+    return Var(a.value + b.value, (a, b), lambda g: (g, g))
+
+
+def sub(a: ArrayLike, b: ArrayLike) -> Var:
+    a, b = _as_var(a), _as_var(b)
+    return Var(a.value - b.value, (a, b), lambda g: (g, -g))
+
+
+def mul(a: ArrayLike, b: ArrayLike) -> Var:
+    a, b = _as_var(a), _as_var(b)
+    return Var(a.value * b.value, (a, b), lambda g: (g * b.value, g * a.value))
+
+
+def div(a: ArrayLike, b: ArrayLike) -> Var:
+    a, b = _as_var(a), _as_var(b)
+    inv = 1.0 / b.value
+    return Var(
+        a.value * inv,
+        (a, b),
+        lambda g: (g * inv, -g * a.value * inv * inv),
+    )
+
+
+def neg(a: ArrayLike) -> Var:
+    a = _as_var(a)
+    return Var(-a.value, (a,), lambda g: (-g,))
+
+
+def power(a: ArrayLike, exponent: float) -> Var:
+    """``a ** exponent`` for a constant (non-differentiated) exponent."""
+    a = _as_var(a)
+    out = a.value ** exponent
+    return Var(out, (a,), lambda g: (g * exponent * a.value ** (exponent - 1.0),))
+
+
+def square(a: ArrayLike) -> Var:
+    a = _as_var(a)
+    return Var(a.value * a.value, (a,), lambda g: (g * 2.0 * a.value,))
+
+
+def absolute(a: ArrayLike) -> Var:
+    a = _as_var(a)
+    return Var(np.abs(a.value), (a,), lambda g: (g * np.sign(a.value),))
+
+
+# ---------------------------------------------------------------------------
+# Elementwise transcendentals
+# ---------------------------------------------------------------------------
+
+def exp(a: ArrayLike) -> Var:
+    a = _as_var(a)
+    out = np.exp(a.value)
+    return Var(out, (a,), lambda g: (g * out,))
+
+
+def log(a: ArrayLike) -> Var:
+    a = _as_var(a)
+    return Var(np.log(a.value), (a,), lambda g: (g / a.value,))
+
+
+def log1p(a: ArrayLike) -> Var:
+    a = _as_var(a)
+    return Var(np.log1p(a.value), (a,), lambda g: (g / (1.0 + a.value),))
+
+
+def expm1(a: ArrayLike) -> Var:
+    a = _as_var(a)
+    out = np.expm1(a.value)
+    return Var(out, (a,), lambda g: (g * (out + 1.0),))
+
+
+def sqrt(a: ArrayLike) -> Var:
+    a = _as_var(a)
+    out = np.sqrt(a.value)
+    return Var(out, (a,), lambda g: (g * 0.5 / out,))
+
+
+def sin(a: ArrayLike) -> Var:
+    a = _as_var(a)
+    return Var(np.sin(a.value), (a,), lambda g: (g * np.cos(a.value),))
+
+
+def cos(a: ArrayLike) -> Var:
+    a = _as_var(a)
+    return Var(np.cos(a.value), (a,), lambda g: (-g * np.sin(a.value),))
+
+
+def tanh(a: ArrayLike) -> Var:
+    a = _as_var(a)
+    out = np.tanh(a.value)
+    return Var(out, (a,), lambda g: (g * (1.0 - out * out),))
+
+
+def sigmoid(a: ArrayLike) -> Var:
+    """Numerically stable logistic function."""
+    a = _as_var(a)
+    out = sps.expit(a.value)
+    return Var(out, (a,), lambda g: (g * out * (1.0 - out),))
+
+
+def softplus(a: ArrayLike) -> Var:
+    """log(1 + exp(a)), computed stably."""
+    a = _as_var(a)
+    out = np.logaddexp(0.0, a.value)
+    s = sps.expit(a.value)
+    return Var(out, (a,), lambda g: (g * s,))
+
+
+def log_sigmoid(a: ArrayLike) -> Var:
+    """log(sigmoid(a)) = -softplus(-a), computed stably."""
+    a = _as_var(a)
+    out = -np.logaddexp(0.0, -a.value)
+    s = sps.expit(-a.value)
+    return Var(out, (a,), lambda g: (g * s,))
+
+
+def lgamma(a: ArrayLike) -> Var:
+    """log |Gamma(a)|; derivative is the digamma function."""
+    a = _as_var(a)
+    return Var(sps.gammaln(a.value), (a,), lambda g: (g * sps.digamma(a.value),))
+
+
+def erf(a: ArrayLike) -> Var:
+    a = _as_var(a)
+    two_over_sqrt_pi = 2.0 / np.sqrt(np.pi)
+    return Var(
+        sps.erf(a.value),
+        (a,),
+        lambda g: (g * two_over_sqrt_pi * np.exp(-a.value * a.value),),
+    )
+
+
+def normal_cdf(a: ArrayLike) -> Var:
+    """Standard normal CDF Phi(a)."""
+    a = _as_var(a)
+    inv_sqrt_2pi = 1.0 / np.sqrt(2.0 * np.pi)
+    return Var(
+        sps.ndtr(a.value),
+        (a,),
+        lambda g: (g * inv_sqrt_2pi * np.exp(-0.5 * a.value * a.value),),
+    )
+
+
+def arctan(a: ArrayLike) -> Var:
+    a = _as_var(a)
+    return Var(np.arctan(a.value), (a,), lambda g: (g / (1.0 + a.value * a.value),))
+
+
+# ---------------------------------------------------------------------------
+# Reductions
+# ---------------------------------------------------------------------------
+
+def reduce_sum(a: ArrayLike, axis: Optional[int] = None) -> Var:
+    a = _as_var(a)
+    out = a.value.sum(axis=axis)
+
+    def backward(g: np.ndarray):
+        if axis is None:
+            return (np.broadcast_to(g, a.value.shape),)
+        expanded = np.expand_dims(g, axis)
+        return (np.broadcast_to(expanded, a.value.shape),)
+
+    return Var(out, (a,), backward)
+
+
+# Stan-style alias; "sum" shadows the builtin only within explicit ops.sum use.
+sum = reduce_sum
+
+
+def mean(a: ArrayLike, axis: Optional[int] = None) -> Var:
+    a = _as_var(a)
+    count = a.value.size if axis is None else a.value.shape[axis]
+    return div(reduce_sum(a, axis=axis), float(count))
+
+
+def logsumexp(a: ArrayLike, axis: Optional[int] = None) -> Var:
+    """Stable log(sum(exp(a))) with softmax backward."""
+    a = _as_var(a)
+    out = sps.logsumexp(a.value, axis=axis)
+
+    def backward(g: np.ndarray):
+        if axis is None:
+            soft = np.exp(a.value - out)
+            return (g * soft,)
+        expanded_out = np.expand_dims(out, axis)
+        soft = np.exp(a.value - expanded_out)
+        return (np.expand_dims(g, axis) * soft,)
+
+    return Var(out, (a,), backward)
+
+
+def dot(a: ArrayLike, b: ArrayLike) -> Var:
+    """Inner product of two 1-D arrays."""
+    a, b = _as_var(a), _as_var(b)
+    return Var(a.value @ b.value, (a, b), lambda g: (g * b.value, g * a.value))
+
+
+def matvec(m: ArrayLike, v: ArrayLike) -> Var:
+    """Matrix-vector product ``m @ v`` for 2-D ``m`` and 1-D ``v``."""
+    m, v = _as_var(m), _as_var(v)
+    return Var(
+        m.value @ v.value,
+        (m, v),
+        lambda g: (np.outer(g, v.value), m.value.T @ g),
+    )
+
+
+def matmul(a: ArrayLike, b: ArrayLike) -> Var:
+    """Matrix-matrix product for 2-D operands."""
+    a, b = _as_var(a), _as_var(b)
+    return Var(
+        a.value @ b.value,
+        (a, b),
+        lambda g: (g @ b.value.T, a.value.T @ g),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shaping / indexing
+# ---------------------------------------------------------------------------
+
+def reshape(a: ArrayLike, shape) -> Var:
+    a = _as_var(a)
+    return Var(a.value.reshape(shape), (a,), lambda g: (g.reshape(a.value.shape),))
+
+
+def take(a: ArrayLike, indices) -> Var:
+    """Gather ``a[indices]`` (fancy indexing with an integer array)."""
+    a = _as_var(a)
+    indices = np.asarray(indices)
+    out = a.value[indices]
+
+    def backward(g: np.ndarray):
+        grad = np.zeros_like(a.value)
+        np.add.at(grad, indices, g)
+        return (grad,)
+
+    node = Var(out, (a,), backward)
+    node.tag = "gather"
+    return node
+
+
+def getitem(a: ArrayLike, key) -> Var:
+    """Basic slicing/scalar indexing ``a[key]``."""
+    a = _as_var(a)
+    if isinstance(key, (np.ndarray, list)):
+        return take(a, key)
+    out = a.value[key]
+
+    def backward(g: np.ndarray):
+        grad = np.zeros_like(a.value)
+        np.add.at(grad, key, g)
+        return (grad,)
+
+    return Var(out, (a,), backward)
+
+
+def concat(parts: Sequence[ArrayLike]) -> Var:
+    parts = [_as_var(p) for p in parts]
+    values = [np.atleast_1d(p.value) for p in parts]
+    sizes = [v.shape[0] for v in values]
+    out = np.concatenate(values)
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g: np.ndarray):
+        return tuple(
+            g[offsets[i]:offsets[i + 1]].reshape(parts[i].value.shape)
+            for i in range(len(parts))
+        )
+
+    return Var(out, tuple(parts), backward)
+
+
+def stack(parts: Sequence[ArrayLike]) -> Var:
+    """Stack scalars/equal-shape arrays along a new leading axis."""
+    parts = [_as_var(p) for p in parts]
+    out = np.stack([p.value for p in parts])
+
+    def backward(g: np.ndarray):
+        return tuple(g[i] for i in range(len(parts)))
+
+    return Var(out, tuple(parts), backward)
+
+
+def cumsum(a: ArrayLike) -> Var:
+    a = _as_var(a)
+    out = np.cumsum(a.value)
+    return Var(out, (a,), lambda g: (np.cumsum(g[::-1])[::-1],))
+
+
+def outer(a: ArrayLike, b: ArrayLike) -> Var:
+    a, b = _as_var(a), _as_var(b)
+    return Var(
+        np.outer(a.value, b.value),
+        (a, b),
+        lambda g: (g @ b.value, g.T @ a.value),
+    )
+
+
+def where(cond: np.ndarray, a: ArrayLike, b: ArrayLike) -> Var:
+    """Select elementwise; ``cond`` is a plain boolean array (not differentiated)."""
+    cond = np.asarray(cond, dtype=bool)
+    a, b = _as_var(a), _as_var(b)
+    return Var(
+        np.where(cond, a.value, b.value),
+        (a, b),
+        lambda g: (np.where(cond, g, 0.0), np.where(cond, 0.0, g)),
+    )
+
+
+def clip_min(a: ArrayLike, lo: float) -> Var:
+    """max(a, lo); gradient is zero where clipped."""
+    a = _as_var(a)
+    mask = a.value > lo
+    return Var(np.maximum(a.value, lo), (a,), lambda g: (g * mask,))
+
+
+# ---------------------------------------------------------------------------
+# Composite linear-algebra ops with custom adjoints
+# ---------------------------------------------------------------------------
+
+def quadratic_form_inv(k: ArrayLike, y: np.ndarray) -> Var:
+    """``y^T K^{-1} y`` with adjoint ``-alpha alpha^T`` where ``alpha=K^{-1}y``.
+
+    ``y`` is data (not differentiated); ``K`` must be symmetric positive
+    definite. Used by the Gaussian-process workload.
+    """
+    k = _as_var(k)
+    y = np.asarray(y, dtype=float)
+    chol = np.linalg.cholesky(k.value)
+    alpha = np.linalg.solve(chol.T, np.linalg.solve(chol, y))
+    out = float(y @ alpha)
+    return Var(out, (k,), lambda g: (-g * np.outer(alpha, alpha),))
+
+
+def logdet_spd(k: ArrayLike) -> Var:
+    """log det K for symmetric positive definite K; adjoint is ``K^{-1}``."""
+    k = _as_var(k)
+    chol = np.linalg.cholesky(k.value)
+    out = 2.0 * float(np.log(np.diag(chol)).sum())
+
+    def backward(g: np.ndarray):
+        identity = np.eye(k.value.shape[0])
+        k_inv = np.linalg.solve(chol.T, np.linalg.solve(chol, identity))
+        return (g * k_inv,)
+
+    return Var(out, (k,), backward)
+
+
+def solve_spd(k: ArrayLike, y: ArrayLike) -> Var:
+    """``K^{-1} y`` for SPD ``K`` (both differentiable)."""
+    k, y = _as_var(k), _as_var(y)
+    chol = np.linalg.cholesky(k.value)
+
+    def _solve(rhs: np.ndarray) -> np.ndarray:
+        return np.linalg.solve(chol.T, np.linalg.solve(chol, rhs))
+
+    x = _solve(y.value)
+
+    def backward(g: np.ndarray):
+        gbar = _solve(g)
+        return (-np.outer(gbar, x), gbar)
+
+    return Var(x, (k, y), backward)
+
+
+def cholesky_lower(k: ArrayLike) -> Var:
+    """Lower Cholesky factor L of SPD K with the standard reverse-mode adjoint."""
+    k = _as_var(k)
+    chol = np.linalg.cholesky(k.value)
+
+    def backward(g: np.ndarray):
+        # Murray (2016), "Differentiation of the Cholesky decomposition":
+        # Kbar = L^{-T} Phi(L^T Lbar) L^{-1} with Phi = tril, halved diagonal,
+        # then symmetrized because K is used as a symmetric matrix.
+        n = chol.shape[0]
+        lbar = np.asarray(g, dtype=float)
+        phi = np.tril(chol.T @ lbar)
+        phi[np.diag_indices(n)] *= 0.5
+        inv_l = np.linalg.solve(chol, np.eye(n))
+        kbar = inv_l.T @ phi @ inv_l
+        return (0.5 * (kbar + kbar.T),)
+
+    return Var(chol, (k,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Operator installation on Var
+# ---------------------------------------------------------------------------
+
+def _matmul_dispatch(a: ArrayLike, b: ArrayLike) -> Var:
+    a_val = a.value if isinstance(a, Var) else np.asarray(a)
+    b_val = b.value if isinstance(b, Var) else np.asarray(b)
+    if a_val.ndim == 1 and b_val.ndim == 1:
+        return dot(a, b)
+    if a_val.ndim == 2 and b_val.ndim == 1:
+        return matvec(a, b)
+    return matmul(a, b)
+
+
+def _install_operators() -> None:
+    Var.__add__ = lambda self, other: add(self, other)
+    Var.__radd__ = lambda self, other: add(other, self)
+    Var.__sub__ = lambda self, other: sub(self, other)
+    Var.__rsub__ = lambda self, other: sub(other, self)
+    Var.__mul__ = lambda self, other: mul(self, other)
+    Var.__rmul__ = lambda self, other: mul(other, self)
+    Var.__truediv__ = lambda self, other: div(self, other)
+    Var.__rtruediv__ = lambda self, other: div(other, self)
+    Var.__neg__ = lambda self: neg(self)
+    Var.__pow__ = lambda self, exponent: power(self, exponent)
+    Var.__matmul__ = lambda self, other: _matmul_dispatch(self, other)
+    Var.__rmatmul__ = lambda self, other: _matmul_dispatch(other, self)
+    Var.__getitem__ = lambda self, key: getitem(self, key)
+
+
+_install_operators()

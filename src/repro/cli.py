@@ -1,0 +1,233 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small, scriptable entry points over the library's main flows:
+
+* ``table1`` / ``platforms`` — the paper's summary tables;
+* ``run`` — sample a BayesSuite workload and print posterior summaries;
+* ``characterize`` — profile a workload and simulate its hardware counters;
+* ``elide`` — run with convergence detection and report the savings;
+* ``census`` — the Section VII-A distribution census;
+* ``subsample`` — the Section VII-B cache-fitting data-subsampling advice.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _add_workload_argument(parser: argparse.ArgumentParser) -> None:
+    from repro.suite import workload_names
+
+    parser.add_argument("workload", choices=workload_names())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BayesSuite reproduction (ISPASS 2019) command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the Table I workload summary")
+    sub.add_parser("platforms", help="print the Table II platform summary")
+    sub.add_parser("census", help="distribution census across the suite")
+
+    run = sub.add_parser("run", help="sample a workload and summarize")
+    _add_workload_argument(run)
+    run.add_argument("--iterations", type=int, default=400)
+    run.add_argument("--chains", type=int, default=4)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--scale", type=float, default=0.5)
+    run.add_argument("--engine", choices=("nuts", "hmc", "mh"), default="nuts")
+    run.add_argument("--max-params", type=int, default=12,
+                     help="summary rows to print")
+
+    char = sub.add_parser("characterize", help="profile + simulated counters")
+    _add_workload_argument(char)
+    char.add_argument("--cores", type=int, default=4)
+    char.add_argument("--chains", type=int, default=4)
+
+    elide = sub.add_parser("elide", help="run with convergence detection")
+    _add_workload_argument(elide)
+    elide.add_argument("--iterations", type=int, default=400)
+    elide.add_argument("--seed", type=int, default=0)
+    elide.add_argument("--scale", type=float, default=0.5)
+
+    subsample = sub.add_parser(
+        "subsample", help="cache-fitting data-subsampling recommendation"
+    )
+    _add_workload_argument(subsample)
+    subsample.add_argument("--platform", choices=("skylake", "broadwell"),
+                           default="skylake")
+    subsample.add_argument("--chains", type=int, default=4)
+
+    report = sub.add_parser(
+        "report", help="run the full pipeline and write a Markdown report"
+    )
+    report.add_argument("--output", "-o", default="report.md")
+    report.add_argument("--budget-fraction", type=float, default=0.12)
+    report.add_argument("--cache-dir", default=None)
+    report.add_argument("--seed", type=int, default=7)
+    return parser
+
+
+def _engine(name: str):
+    from repro.inference import HMC, NUTS, MetropolisHastings
+
+    return {
+        "nuts": NUTS(max_tree_depth=6),
+        "hmc": HMC(n_leapfrog=16),
+        "mh": MetropolisHastings(),
+    }[name]
+
+
+def cmd_table1() -> None:
+    from repro.suite import table_one
+
+    print(f"{'Name':<10s} {'Model':<32s} {'Application':<50s} {'Iters':>6s}")
+    for info in table_one():
+        print(f"{info.name:<10s} {info.model_family:<32s} "
+              f"{info.application[:50]:<50s} {info.default_iterations:>6d}")
+
+
+def cmd_platforms() -> None:
+    from repro.arch.platforms import BROADWELL, SKYLAKE, TABLE2_HEADER
+
+    print(TABLE2_HEADER)
+    print(SKYLAKE.row())
+    print(BROADWELL.row())
+
+
+def cmd_census() -> None:
+    from repro.suite.analysis import distribution_census, special_function_requirements
+
+    census = distribution_census()
+    print("distribution family usage across BayesSuite:")
+    for family, count in sorted(census.items(), key=lambda kv: -kv[1]):
+        print(f"  {family:<14s} {count:>3d}")
+    print("\nspecial-function units needed (workloads):")
+    for fn, count in sorted(special_function_requirements().items(),
+                            key=lambda kv: -kv[1]):
+        print(f"  {fn:<10s} {count:>3d}")
+
+
+def cmd_run(args) -> None:
+    from repro.diagnostics import format_summary, max_rhat
+    from repro.inference import run_chains
+    from repro.suite import load_workload
+
+    model = load_workload(args.workload, scale=args.scale)
+    print(f"sampling {model.name} (dim={model.dim}) with {args.engine}...")
+    result = run_chains(model, _engine(args.engine),
+                        n_iterations=args.iterations,
+                        n_chains=args.chains, seed=args.seed)
+    draws = result.stacked()
+    print(f"R-hat (worst): {max_rhat(draws):.3f}   "
+          f"divergences: {result.divergences}   "
+          f"work: {result.total_work:.0f} gradient evals")
+    names = model.flat_param_names()
+    keep = min(args.max_params, len(names))
+    print(format_summary(draws[:, :, :keep], names[:keep]))
+
+
+def cmd_characterize(args) -> None:
+    from repro.arch import BROADWELL, SKYLAKE, MachineModel, profile_workload
+    from repro.suite import load_workload
+
+    model = load_workload(args.workload)
+    profile = profile_workload(model, calibration_iterations=30)
+    print(f"{model.name}: data={profile.modeled_data_bytes:,d} B, "
+          f"dim={profile.dim}, tape={profile.tape_nodes} nodes, "
+          f"WS/chain={profile.working_set_bytes / 1e6:.2f} MB, "
+          f"work/iter={profile.work_per_iteration:.1f}")
+    print(f"\n{'platform':<10s} {'IPC':>5s} {'I$':>6s} {'br':>6s} "
+          f"{'LLC':>7s} {'BW MB/s':>8s}")
+    for platform in (SKYLAKE, BROADWELL):
+        c = MachineModel(platform).counters(
+            profile, n_cores=min(args.cores, platform.cores),
+            n_chains=args.chains,
+        )
+        print(f"{platform.codename:<10s} {c.ipc:>5.2f} {c.icache_mpki:>6.2f} "
+              f"{c.branch_mpki:>6.2f} {c.llc_mpki:>7.2f} "
+              f"{c.bandwidth_mbs:>8.0f}")
+
+
+def cmd_elide(args) -> None:
+    from repro.core.elision import ConvergenceDetector
+    from repro.inference import NUTS, run_chains
+    from repro.suite import load_workload
+
+    model = load_workload(args.workload, scale=args.scale)
+    result = run_chains(model, NUTS(max_tree_depth=6),
+                        n_iterations=args.iterations, n_chains=4,
+                        seed=args.seed)
+    report = ConvergenceDetector(check_interval=20).detect(result)
+    if report.converged:
+        print(f"{model.name}: converged at kept-iteration "
+              f"{report.converged_iteration} of {report.budget_iterations} "
+              f"({100 * report.iterations_saved_fraction:.0f}% elided, "
+              f"{100 * report.work_saved_fraction(result):.0f}% of work)")
+    else:
+        print(f"{model.name}: no convergence within "
+              f"{report.budget_iterations} kept iterations "
+              f"(last R-hat {report.rhat_trace[-1]:.3f})")
+
+
+def cmd_subsample(args) -> None:
+    from repro.arch import PLATFORMS, profile_workload
+    from repro.core.subsample import recommend_subsample
+    from repro.suite import load_workload
+
+    model = load_workload(args.workload)
+    profile = profile_workload(model, calibration_iterations=30)
+    plan = recommend_subsample(profile, PLATFORMS[args.platform],
+                               n_active_chains=args.chains)
+    if not plan.subsampling_needed:
+        print(f"{plan.workload} fits {plan.platform}'s LLC with "
+              f"{plan.n_active_chains} active chains; no subsampling needed")
+    else:
+        print(f"{plan.workload} on {plan.platform} with "
+              f"{plan.n_active_chains} active chains: subsample data to "
+              f"{100 * plan.data_fraction:.0f}% "
+              f"(projected occupancy {plan.projected_working_set_bytes / 1e6:.1f} MB"
+              f"{'' if plan.fits else ', still over capacity'})")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    np.set_printoptions(precision=3, suppress=True)
+    if args.command == "table1":
+        cmd_table1()
+    elif args.command == "platforms":
+        cmd_platforms()
+    elif args.command == "census":
+        cmd_census()
+    elif args.command == "run":
+        cmd_run(args)
+    elif args.command == "characterize":
+        cmd_characterize(args)
+    elif args.command == "elide":
+        cmd_elide(args)
+    elif args.command == "subsample":
+        cmd_subsample(args)
+    elif args.command == "report":
+        from repro.core.pipeline import SuiteRunner
+        from repro.report import write_report
+
+        runner = SuiteRunner(
+            budget_fraction=args.budget_fraction, seed=args.seed,
+            cache_dir=args.cache_dir,
+        )
+        print("running the full pipeline (this samples every workload "
+              "unless cached)...")
+        path = write_report(args.output, runner)
+        print(f"report written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

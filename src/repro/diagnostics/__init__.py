@@ -1,0 +1,32 @@
+"""Convergence and quality diagnostics.
+
+* :mod:`repro.diagnostics.rhat` — the Gelman-Rubin potential scale reduction
+  factor, the paper's convergence-detection statistic (Section VI-A);
+* :mod:`repro.diagnostics.ess` — effective sample size;
+* :mod:`repro.diagnostics.kl` — KL-divergence estimators between posterior
+  sample sets, used to judge intermediate result quality against ground
+  truth (Figure 5);
+* :mod:`repro.diagnostics.summary` — per-parameter posterior summaries.
+"""
+
+from repro.diagnostics.rhat import gelman_rubin, split_rhat, max_rhat
+from repro.diagnostics.ess import effective_sample_size, min_ess
+from repro.diagnostics.kl import gaussian_kl, histogram_kl, kl_divergence
+from repro.diagnostics.summary import summarize, format_summary
+from repro.diagnostics.mcse import mcse_mean, mcse_quantile, mean_confidence_interval
+
+__all__ = [
+    "format_summary",
+    "mcse_mean",
+    "mcse_quantile",
+    "mean_confidence_interval",
+    "gelman_rubin",
+    "split_rhat",
+    "max_rhat",
+    "effective_sample_size",
+    "min_ess",
+    "gaussian_kl",
+    "histogram_kl",
+    "kl_divergence",
+    "summarize",
+]

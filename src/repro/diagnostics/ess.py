@@ -1,0 +1,75 @@
+"""Effective sample size via Geyer's initial positive sequence estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _autocovariance(x: np.ndarray) -> np.ndarray:
+    """Biased autocovariance of a 1-D series via FFT."""
+    x = np.asarray(x, dtype=float)
+    n = x.size
+    centered = x - x.mean()
+    # Zero-pad to the next power of two for FFT efficiency.
+    size = 1 << (2 * n - 1).bit_length()
+    f = np.fft.rfft(centered, size)
+    acov = np.fft.irfft(f * np.conjugate(f), size)[:n].real
+    return acov / n
+
+
+def effective_sample_size(draws: np.ndarray) -> float:
+    """ESS of one scalar parameter across chains.
+
+    Parameters
+    ----------
+    draws:
+        (n_chains, n_draws) post-warmup draws.
+
+    Uses the multi-chain formulation (as in Stan): combines within-chain
+    autocovariances with between-chain variance, then truncates the lag sum
+    with Geyer's initial monotone positive sequence.
+    """
+    draws = np.asarray(draws, dtype=float)
+    if draws.ndim == 1:
+        draws = draws[None, :]
+    n_chains, n_draws = draws.shape
+    if n_draws < 4:
+        return float(n_chains * n_draws)
+
+    acov = np.stack([_autocovariance(draws[c]) for c in range(n_chains)])
+    chain_means = draws.mean(axis=1)
+    mean_var = acov[:, 0].mean() * n_draws / (n_draws - 1)
+    var_plus = mean_var * (n_draws - 1) / n_draws
+    if n_chains > 1:
+        var_plus += chain_means.var(ddof=1)
+    if var_plus == 0.0:
+        return float(n_chains * n_draws)
+
+    # rho_t = 1 - (W - mean autocov_t) / var_plus
+    rho = 1.0 - (mean_var - acov.mean(axis=0)) / var_plus
+    rho[0] = 1.0
+
+    # Geyer: sum consecutive pairs while positive and monotonically decreasing.
+    total = 0.0
+    prev_pair = np.inf
+    t = 1
+    while t + 1 < n_draws:
+        pair = rho[t] + rho[t + 1]
+        if pair < 0.0:
+            break
+        pair = min(pair, prev_pair)
+        total += pair
+        prev_pair = pair
+        t += 2
+
+    tau = 1.0 + 2.0 * total
+    ess = n_chains * n_draws / max(tau, 1e-12)
+    return float(min(ess, n_chains * n_draws * 1.0))
+
+
+def min_ess(draws: np.ndarray) -> float:
+    """Worst-case ESS across parameters of a (n_chains, n_draws, dim) array."""
+    draws = np.asarray(draws, dtype=float)
+    if draws.ndim != 3:
+        raise ValueError(f"expected (n_chains, n_draws, dim), got {draws.shape}")
+    return float(min(effective_sample_size(draws[:, :, k]) for k in range(draws.shape[2])))

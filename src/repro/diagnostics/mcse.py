@@ -1,0 +1,59 @@
+"""Monte Carlo standard errors for posterior estimates.
+
+MCSE quantifies how much of a reported posterior mean/quantile is sampling
+noise: ``mcse_mean = sd / sqrt(ESS)``. The elision policies implicitly trade
+MCSE for latency, so the library exposes it directly (and the summary tables
+can report it alongside R-hat and ESS).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.diagnostics.ess import effective_sample_size
+
+
+def mcse_mean(draws: np.ndarray) -> float:
+    """Monte Carlo standard error of the posterior mean.
+
+    ``draws`` is (n_chains, n_draws) for one parameter.
+    """
+    draws = np.asarray(draws, dtype=float)
+    if draws.ndim == 1:
+        draws = draws[None, :]
+    sd = draws.reshape(-1).std(ddof=1)
+    ess = effective_sample_size(draws)
+    return float(sd / np.sqrt(max(ess, 1.0)))
+
+
+def mcse_quantile(draws: np.ndarray, prob: float) -> float:
+    """MCSE of a posterior quantile via the binomial/beta argument
+    (Doss et al. 2014 style normal approximation on the quantile scale)."""
+    if not 0.0 < prob < 1.0:
+        raise ValueError("prob must be in (0, 1)")
+    draws = np.asarray(draws, dtype=float)
+    if draws.ndim == 1:
+        draws = draws[None, :]
+    flat = np.sort(draws.reshape(-1))
+    ess = effective_sample_size(draws)
+    # Standard error of the empirical CDF at the quantile, mapped back to
+    # the parameter scale through the order statistics.
+    se_p = np.sqrt(prob * (1.0 - prob) / max(ess, 1.0))
+    lo = float(np.quantile(flat, max(prob - se_p, 0.0)))
+    hi = float(np.quantile(flat, min(prob + se_p, 1.0)))
+    return (hi - lo) / 2.0
+
+
+def mean_confidence_interval(
+    draws: np.ndarray, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Normal-approximation CI for the posterior-mean *estimate* (not the
+    posterior interval): mean +- z * MCSE."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    draws = np.asarray(draws, dtype=float)
+    center = float(draws.mean())
+    z = float(stats.norm.ppf(0.5 + confidence / 2.0))
+    half = z * mcse_mean(draws)
+    return center - half, center + half

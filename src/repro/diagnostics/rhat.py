@@ -1,0 +1,71 @@
+"""Gelman-Rubin potential scale reduction factor (R-hat).
+
+Implements the diagnostic of Gelman & Rubin (1992) that the paper's runtime
+convergence detection computes online: R-hat compares within-chain and
+between-chain variance, approaches 1 as chains converge, and the paper (after
+Brooks et al.) takes R-hat < 1.1 as "converged".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def gelman_rubin(draws: np.ndarray) -> float:
+    """Classic R-hat for one scalar parameter.
+
+    Parameters
+    ----------
+    draws:
+        (n_chains, n_draws) array of post-warmup draws of one parameter.
+    """
+    draws = np.asarray(draws, dtype=float)
+    if draws.ndim != 2:
+        raise ValueError(f"expected (n_chains, n_draws), got shape {draws.shape}")
+    n_chains, n_draws = draws.shape
+    if n_chains < 2:
+        raise ValueError("R-hat requires at least 2 chains")
+    if n_draws < 2:
+        return float("inf")
+
+    chain_means = draws.mean(axis=1)
+    chain_vars = draws.var(axis=1, ddof=1)
+    within = chain_vars.mean()
+    between = n_draws * chain_means.var(ddof=1)
+
+    if within == 0.0:
+        # All chains constant: identical -> converged; different -> not.
+        return 1.0 if between == 0.0 else float("inf")
+
+    var_estimate = (n_draws - 1) / n_draws * within + between / n_draws
+    return float(np.sqrt(var_estimate / within))
+
+
+def split_rhat(draws: np.ndarray) -> float:
+    """Split R-hat: halve each chain to also detect within-chain drift."""
+    draws = np.asarray(draws, dtype=float)
+    if draws.ndim != 2:
+        raise ValueError(f"expected (n_chains, n_draws), got shape {draws.shape}")
+    n_draws = draws.shape[1]
+    half = n_draws // 2
+    if half < 2:
+        return float("inf")
+    split = np.concatenate([draws[:, :half], draws[:, half:2 * half]], axis=0)
+    return gelman_rubin(split)
+
+
+def max_rhat(draws: np.ndarray, split: bool = False) -> float:
+    """Worst-case R-hat across parameters.
+
+    Parameters
+    ----------
+    draws:
+        (n_chains, n_draws, dim) array.
+    split:
+        Use split R-hat per parameter.
+    """
+    draws = np.asarray(draws, dtype=float)
+    if draws.ndim != 3:
+        raise ValueError(f"expected (n_chains, n_draws, dim), got {draws.shape}")
+    statistic = split_rhat if split else gelman_rubin
+    return float(max(statistic(draws[:, :, k]) for k in range(draws.shape[2])))

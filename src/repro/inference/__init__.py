@@ -1,0 +1,37 @@
+"""Approximate Bayesian inference engines.
+
+Implements the samplers the paper studies:
+
+* :class:`~repro.inference.metropolis.MetropolisHastings` — Algorithm 1 of
+  the paper (random-walk MH over multiple independent Markov chains);
+* :class:`~repro.inference.hmc.HMC` — static Hamiltonian Monte Carlo;
+* :class:`~repro.inference.nuts.NUTS` — the No-U-Turn sampler (Hoffman &
+  Gelman 2014) with dual-averaging step-size adaptation and diagonal mass
+  matrix estimation, the configuration Stan ships as its default and the one
+  BayesSuite is characterized with.
+
+The multi-chain driver in :mod:`repro.inference.chain` mirrors the outer loop
+of Algorithm 1: chains are independent and embarrassingly parallel, and each
+chain's *work* (gradient evaluations per iteration) is recorded so the
+architectural model can reproduce the paper's slowest-chain effects.
+"""
+
+from repro.inference.results import ChainResult, SamplingResult
+from repro.inference.metropolis import MetropolisHastings
+from repro.inference.hmc import HMC
+from repro.inference.nuts import NUTS
+from repro.inference.slice_sampler import SliceSampler
+from repro.inference.advi import ADVI, AdviResult
+from repro.inference.chain import run_chains
+
+__all__ = [
+    "ChainResult",
+    "SamplingResult",
+    "MetropolisHastings",
+    "HMC",
+    "NUTS",
+    "SliceSampler",
+    "ADVI",
+    "AdviResult",
+    "run_chains",
+]

@@ -1,0 +1,120 @@
+"""Warmup adaptation: dual-averaging step size and diagonal mass matrix.
+
+Implements the Nesterov dual-averaging scheme of Hoffman & Gelman (2014,
+Section 3.2) used by Stan, and an online Welford estimator for the diagonal
+of the mass matrix (inverse metric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class DualAveraging:
+    """Adapt log step size so average acceptance approaches ``target``.
+
+    Attributes follow the paper's notation: ``gamma`` regularization scale,
+    ``t0`` iteration offset, ``kappa`` decay exponent; ``mu`` is the shrink
+    target, set to log(10 * initial step size).
+    """
+
+    initial_step_size: float
+    target: float = 0.8
+    gamma: float = 0.05
+    t0: float = 10.0
+    kappa: float = 0.75
+
+    def __post_init__(self) -> None:
+        self.mu = float(np.log(10.0 * self.initial_step_size))
+        self.log_step = float(np.log(self.initial_step_size))
+        self.log_step_bar = 0.0
+        self.h_bar = 0.0
+        self.count = 0
+
+    def update(self, accept_prob: float) -> float:
+        """Feed one iteration's acceptance statistic; returns new step size."""
+        self.count += 1
+        m = self.count
+        eta = 1.0 / (m + self.t0)
+        self.h_bar = (1.0 - eta) * self.h_bar + eta * (self.target - accept_prob)
+        self.log_step = self.mu - np.sqrt(m) / self.gamma * self.h_bar
+        weight = m ** (-self.kappa)
+        self.log_step_bar = weight * self.log_step + (1.0 - weight) * self.log_step_bar
+        return float(np.exp(self.log_step))
+
+    @property
+    def step_size(self) -> float:
+        """Current (noisy) step size used while still adapting."""
+        return float(np.exp(self.log_step))
+
+    @property
+    def adapted_step_size(self) -> float:
+        """Smoothed step size to freeze after warmup."""
+        return float(np.exp(self.log_step_bar))
+
+
+class WelfordVariance:
+    """Online mean/variance estimator for diagonal mass adaptation."""
+
+    def __init__(self, dim: int) -> None:
+        self.dim = dim
+        self.count = 0
+        self.mean = np.zeros(dim)
+        self.m2 = np.zeros(dim)
+
+    def update(self, x: np.ndarray) -> None:
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (x - self.mean)
+
+    def variance(self, regularize: bool = True) -> np.ndarray:
+        """Sample variance, optionally shrunk toward 1 as Stan does."""
+        if self.count < 2:
+            return np.ones(self.dim)
+        raw = self.m2 / (self.count - 1)
+        if not regularize:
+            return raw
+        n = self.count
+        # Stan's regularization: shrink toward unit metric with weight 5/(n+5).
+        return (n / (n + 5.0)) * raw + 1e-3 * (5.0 / (n + 5.0))
+
+    def reset(self) -> None:
+        self.count = 0
+        self.mean[:] = 0.0
+        self.m2[:] = 0.0
+
+
+def find_reasonable_step_size(logp_and_grad, x0: np.ndarray, rng: np.random.Generator,
+                              inv_mass: np.ndarray) -> float:
+    """Heuristic initial step size (Hoffman & Gelman, Algorithm 4).
+
+    Doubles/halves the step until one leapfrog step's acceptance crosses 0.5.
+    """
+    from repro.inference.hmc import leapfrog, kinetic_energy
+
+    step = 1.0
+    logp0, grad0 = logp_and_grad(x0)
+    momentum = rng.normal(size=x0.shape) / np.sqrt(inv_mass)
+    joint0 = logp0 - kinetic_energy(momentum, inv_mass)
+
+    x1, p1, logp1, grad1, _ = leapfrog(logp_and_grad, x0, momentum, grad0, step, inv_mass)
+    joint1 = logp1 - kinetic_energy(p1, inv_mass)
+    if not np.isfinite(joint1):
+        joint1 = -np.inf
+    direction = 1.0 if (joint1 - joint0) > np.log(0.5) else -1.0
+
+    for _ in range(50):
+        step *= 2.0 ** direction
+        x1, p1, logp1, grad1, _ = leapfrog(
+            logp_and_grad, x0, momentum, grad0, step, inv_mass
+        )
+        joint1 = logp1 - kinetic_energy(p1, inv_mass)
+        if not np.isfinite(joint1):
+            joint1 = -np.inf
+        if direction * (joint1 - joint0) <= direction * np.log(0.5):
+            break
+    return float(np.clip(step, 1e-8, 1e3))

@@ -1,0 +1,144 @@
+"""Static Hamiltonian Monte Carlo.
+
+The paper reports HMC's single-core characteristics as "very similar to
+NUTS" (Section IV-A); this engine exists both for that comparison bench and
+as the shared substrate (leapfrog integrator, kinetic energy, warmup
+adaptation) on which NUTS builds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.inference.adaptation import (
+    DualAveraging,
+    WelfordVariance,
+    find_reasonable_step_size,
+)
+from repro.inference.results import ChainResult
+
+LogpGrad = Callable[[np.ndarray], Tuple[float, np.ndarray]]
+
+
+def kinetic_energy(momentum: np.ndarray, inv_mass: np.ndarray) -> float:
+    """0.5 p^T M^{-1} p with a diagonal metric.
+
+    Overflow (a runaway trajectory) maps to +inf, which the callers treat as
+    a divergence.
+    """
+    with np.errstate(over="ignore", invalid="ignore"):
+        return float(0.5 * np.sum(momentum * momentum * inv_mass))
+
+
+def leapfrog(
+    logp_and_grad: LogpGrad,
+    x: np.ndarray,
+    momentum: np.ndarray,
+    grad: np.ndarray,
+    step_size: float,
+    inv_mass: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, float, np.ndarray, int]:
+    """One leapfrog step; returns (x', p', logp', grad', n_gradient_evals)."""
+    p_half = momentum + 0.5 * step_size * grad
+    x_new = x + step_size * inv_mass * p_half
+    logp_new, grad_new = logp_and_grad(x_new)
+    p_new = p_half + 0.5 * step_size * grad_new
+    return x_new, p_new, logp_new, grad_new, 1
+
+
+@dataclass
+class HMC:
+    """Static-trajectory HMC with dual-averaging step-size adaptation."""
+
+    n_leapfrog: int = 16
+    target_accept: float = 0.8
+    adapt_mass: bool = True
+
+    def sample_chain(
+        self,
+        model,
+        x0: np.ndarray,
+        n_iterations: int,
+        rng: np.random.Generator,
+        n_warmup: int | None = None,
+    ) -> ChainResult:
+        if n_warmup is None:
+            n_warmup = n_iterations // 2
+        dim = x0.shape[0]
+        inv_mass = np.ones(dim)
+        logp_and_grad = model.logp_and_grad
+
+        step = find_reasonable_step_size(logp_and_grad, x0, rng, inv_mass)
+        adapter = DualAveraging(step, target=self.target_accept)
+        welford = WelfordVariance(dim)
+
+        samples = np.empty((n_iterations, dim))
+        logps = np.empty(n_iterations)
+        work = np.zeros(n_iterations)
+
+        x = np.asarray(x0, dtype=float).copy()
+        logp, grad = logp_and_grad(x)
+        accepts = 0
+        divergences = 0
+
+        for t in range(n_iterations):
+            momentum = rng.normal(size=dim) / np.sqrt(inv_mass)
+            joint0 = logp - kinetic_energy(momentum, inv_mass)
+
+            x_prop, p_prop, logp_prop, grad_prop = x, momentum, logp, grad
+            evals = 1  # count the initial state's cached evaluation as free; 1 for bookkeeping
+            diverged = False
+            for _ in range(self.n_leapfrog):
+                x_prop, p_prop, logp_prop, grad_prop, n_evals = leapfrog(
+                    logp_and_grad, x_prop, p_prop, grad_prop, step, inv_mass
+                )
+                evals += n_evals
+                if not np.isfinite(logp_prop):
+                    diverged = True
+                    break
+
+            if diverged:
+                accept_prob = 0.0
+                divergences += 1
+            else:
+                joint_prop = logp_prop - kinetic_energy(p_prop, inv_mass)
+                accept_prob = float(min(1.0, np.exp(joint_prop - joint0)))
+
+            if rng.uniform() < accept_prob:
+                x, logp, grad = x_prop, logp_prop, grad_prop
+                accepts += 1
+
+            samples[t] = x
+            logps[t] = logp
+            work[t] = evals
+
+            if t < n_warmup:
+                step = adapter.update(accept_prob)
+                if self.adapt_mass:
+                    # Skip the initial transient (Stan's "fast" interval).
+                    if t >= n_warmup // 4:
+                        welford.update(x)
+                    # Refresh the metric twice during warmup, Stan-window style.
+                    if t in (n_warmup // 2, (3 * n_warmup) // 4) and welford.count > 10:
+                        inv_mass = welford.variance()
+                        welford.reset()
+                        # Restart step-size adaptation under the new metric.
+                        step = find_reasonable_step_size(
+                            logp_and_grad, x, rng, inv_mass
+                        )
+                        adapter = DualAveraging(step, target=self.target_accept)
+            elif t == n_warmup:
+                step = adapter.adapted_step_size
+
+        return ChainResult(
+            samples=samples,
+            logps=logps,
+            work_per_iteration=work,
+            n_warmup=n_warmup,
+            accept_rate=accepts / n_iterations,
+            divergences=divergences,
+            step_size=step,
+        )

@@ -1,0 +1,75 @@
+"""Random-walk Metropolis-Hastings — Algorithm 1 of the paper.
+
+Included both as the pedagogical baseline the paper uses to explain the
+computation structure (sequential inner sampling loop, embarrassingly
+parallel chains) and as a gradient-free fallback engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.inference.results import ChainResult
+
+
+@dataclass
+class MetropolisHastings:
+    """Gaussian random-walk MH with optional warmup scale adaptation."""
+
+    proposal_scale: float = 0.5
+    target_accept: float = 0.234
+    adapt_scale: bool = True
+
+    def sample_chain(
+        self,
+        model,
+        x0: np.ndarray,
+        n_iterations: int,
+        rng: np.random.Generator,
+        n_warmup: int | None = None,
+    ) -> ChainResult:
+        if n_warmup is None:
+            n_warmup = n_iterations // 2
+        dim = x0.shape[0]
+        scale = self.proposal_scale
+
+        samples = np.empty((n_iterations, dim))
+        logps = np.empty(n_iterations)
+        work = np.ones(n_iterations)  # one density evaluation per iteration
+
+        x = np.asarray(x0, dtype=float).copy()
+        logp = model.logp(x)
+        accepts = 0
+
+        for t in range(n_iterations):
+            # Line 4 of Algorithm 1: draw from the proposal density q.
+            proposal = x + scale * rng.normal(size=dim)
+            logp_prop = model.logp(proposal)
+            # Lines 5-12: Metropolis-Hastings accept/reject.
+            log_r = logp_prop - logp
+            if np.log(rng.uniform()) < min(log_r, 0.0):
+                x, logp = proposal, logp_prop
+                accepts += 1
+                accepted = 1.0
+            else:
+                accepted = 0.0
+
+            samples[t] = x
+            logps[t] = logp
+
+            if self.adapt_scale and t < n_warmup:
+                # Robbins-Monro drift of the proposal scale toward the
+                # asymptotically optimal random-walk acceptance rate.
+                scale *= np.exp((accepted - self.target_accept) / np.sqrt(t + 1.0))
+                scale = float(np.clip(scale, 1e-6, 1e3))
+
+        return ChainResult(
+            samples=samples,
+            logps=logps,
+            work_per_iteration=work,
+            n_warmup=n_warmup,
+            accept_rate=accepts / n_iterations,
+            step_size=scale,
+        )

@@ -1,0 +1,127 @@
+"""Containers for sampling output and per-chain work accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class ChainResult:
+    """Output of one Markov chain.
+
+    ``samples`` holds every iteration (warmup included) in unconstrained
+    space; ``n_warmup`` marks how many leading iterations are adaptation.
+    ``work_per_iteration`` counts gradient/log-density evaluations per
+    iteration — the unit of compute the architectural model translates into
+    cycles, which makes the paper's chain-imbalance effects (Section VI-A)
+    emergent rather than assumed.
+    """
+
+    samples: np.ndarray
+    logps: np.ndarray
+    work_per_iteration: np.ndarray
+    n_warmup: int
+    accept_rate: float
+    divergences: int = 0
+    tree_depths: Optional[np.ndarray] = None
+    step_size: float = float("nan")
+
+    @property
+    def n_iterations(self) -> int:
+        return self.samples.shape[0]
+
+    @property
+    def kept(self) -> np.ndarray:
+        """Post-warmup draws."""
+        return self.samples[self.n_warmup:]
+
+    @property
+    def total_work(self) -> float:
+        return float(self.work_per_iteration.sum())
+
+    def work_through(self, iteration: int) -> float:
+        """Cumulative work after ``iteration`` post-warmup iterations."""
+        stop = min(self.n_warmup + iteration, len(self.work_per_iteration))
+        return float(self.work_per_iteration[:stop].sum())
+
+
+@dataclass
+class SamplingResult:
+    """Output of a multi-chain run for one model."""
+
+    model_name: str
+    chains: List[ChainResult]
+    param_names: List[str] = field(default_factory=list)
+
+    @property
+    def n_chains(self) -> int:
+        return len(self.chains)
+
+    @property
+    def dim(self) -> int:
+        return self.chains[0].samples.shape[1]
+
+    @property
+    def n_kept(self) -> int:
+        return min(chain.kept.shape[0] for chain in self.chains)
+
+    def stacked(self, second_half_only: bool = False) -> np.ndarray:
+        """(n_chains, n_draws, dim) array of post-warmup draws.
+
+        ``second_half_only`` mirrors the paper's practice (after Brooks et
+        al.) of inferring from the second half of the kept samples.
+        """
+        n = self.n_kept
+        draws = np.stack([chain.kept[:n] for chain in self.chains])
+        if second_half_only:
+            draws = draws[:, draws.shape[1] // 2:, :]
+        return draws
+
+    def pooled(self, second_half_only: bool = False) -> np.ndarray:
+        """(n_chains * n_draws, dim) pooled posterior matrix."""
+        draws = self.stacked(second_half_only=second_half_only)
+        return draws.reshape(-1, draws.shape[-1])
+
+    @property
+    def total_work(self) -> float:
+        """Aggregate gradient-evaluation count across chains."""
+        return float(sum(chain.total_work for chain in self.chains))
+
+    @property
+    def max_chain_work(self) -> float:
+        """Work of the slowest chain — the multicore latency constraint."""
+        return float(max(chain.total_work for chain in self.chains))
+
+    @property
+    def chain_work(self) -> np.ndarray:
+        return np.array([chain.total_work for chain in self.chains])
+
+    @property
+    def accept_rates(self) -> np.ndarray:
+        return np.array([chain.accept_rate for chain in self.chains])
+
+    @property
+    def divergences(self) -> int:
+        return int(sum(chain.divergences for chain in self.chains))
+
+    def constrained(self, model) -> Dict[str, np.ndarray]:
+        """Map pooled draws through the model's constraining transforms.
+
+        Returns a dict of (n_total_draws, param_size) arrays.
+        """
+        pooled = self.pooled()
+        out: Dict[str, List[np.ndarray]] = {spec.name: [] for spec in model.params}
+        for draw in pooled:
+            values = model.constrain(draw)
+            for name, value in values.items():
+                out[name].append(value)
+        return {name: np.asarray(values) for name, values in out.items()}
+
+    def __repr__(self) -> str:
+        return (
+            f"SamplingResult(model={self.model_name!r}, chains={self.n_chains}, "
+            f"kept={self.n_kept}, work={self.total_work:.0f})"
+        )

@@ -1,0 +1,14 @@
+"""Probabilistic modeling layer: distributions, transforms, and the model API.
+
+This is the reproduction's analogue of the Stan modeling language runtime.
+A :class:`~repro.models.model.BayesianModel` declares named, possibly
+constrained parameters and a log joint density written against
+``repro.autodiff``; the base class provides the flat unconstrained-vector
+interface (``logp_and_grad``) consumed by the samplers, with change-of-
+variable Jacobians applied automatically.
+"""
+
+from repro.models.model import BayesianModel, ParameterSpec
+from repro.models import distributions, transforms
+
+__all__ = ["BayesianModel", "ParameterSpec", "distributions", "transforms"]

@@ -1,0 +1,184 @@
+"""Constrained <-> unconstrained parameter transforms with log-Jacobians.
+
+Samplers work on an unconstrained real vector; models declare constrained
+parameters (positive scales, probabilities, ordered cut points). Each
+transform maps unconstrained ``z`` to the constrained value and reports the
+log absolute determinant of the Jacobian, which the model base class adds to
+the log density — exactly as the Stan runtime does.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Tuple
+
+import numpy as np
+from scipy import special as sps
+
+from repro.autodiff import ops
+from repro.autodiff.tape import Var
+
+
+class Transform(abc.ABC):
+    """Bijection between an unconstrained vector and a constrained value."""
+
+    @abc.abstractmethod
+    def constrain(self, z: Var) -> Tuple[Var, Var]:
+        """Map unconstrained ``z`` to (constrained value, scalar log|J|)."""
+
+    @abc.abstractmethod
+    def unconstrain(self, value: np.ndarray) -> np.ndarray:
+        """Inverse map, used to build initial points from constrained guesses."""
+
+    def constrain_np(self, z: np.ndarray) -> np.ndarray:
+        """Numpy-only forward map (no tape), for posterior post-processing."""
+        constrained, _ = self.constrain(Var(np.asarray(z, dtype=float)))
+        return np.asarray(constrained.value)
+
+
+class Identity(Transform):
+    """No constraint: parameters that live on the whole real line."""
+
+    def constrain(self, z: Var) -> Tuple[Var, Var]:
+        return z, ops.constant(0.0)
+
+    def unconstrain(self, value: np.ndarray) -> np.ndarray:
+        return np.asarray(value, dtype=float)
+
+    def constrain_np(self, z: np.ndarray) -> np.ndarray:
+        return np.asarray(z, dtype=float)
+
+
+class Positive(Transform):
+    """Positivity via exp: value = exp(z), log|J| = sum(z)."""
+
+    def constrain(self, z: Var) -> Tuple[Var, Var]:
+        return ops.exp(z), ops.sum(z)
+
+    def unconstrain(self, value: np.ndarray) -> np.ndarray:
+        value = np.asarray(value, dtype=float)
+        if np.any(value <= 0):
+            raise ValueError("Positive transform requires strictly positive values")
+        return np.log(value)
+
+    def constrain_np(self, z: np.ndarray) -> np.ndarray:
+        return np.exp(np.asarray(z, dtype=float))
+
+
+class Interval(Transform):
+    """Bounded interval via scaled logistic: value = lo + (hi-lo)*sigmoid(z)."""
+
+    def __init__(self, lo: float = 0.0, hi: float = 1.0) -> None:
+        if not hi > lo:
+            raise ValueError(f"Interval requires hi > lo, got [{lo}, {hi}]")
+        self.lo = float(lo)
+        self.hi = float(hi)
+
+    def constrain(self, z: Var) -> Tuple[Var, Var]:
+        width = self.hi - self.lo
+        sig = ops.sigmoid(z)
+        value = sig * width + self.lo
+        # log|J| = sum log(width * s * (1-s)) = log(width) + log_sigmoid(z) + log_sigmoid(-z)
+        count = float(z.size)
+        log_jac = (
+            ops.sum(ops.log_sigmoid(z))
+            + ops.sum(ops.log_sigmoid(-z))
+            + np.log(width) * count
+        )
+        return value, log_jac
+
+    def unconstrain(self, value: np.ndarray) -> np.ndarray:
+        value = np.asarray(value, dtype=float)
+        u = (value - self.lo) / (self.hi - self.lo)
+        if np.any(u <= 0) or np.any(u >= 1):
+            raise ValueError("Interval transform requires values strictly inside bounds")
+        return sps.logit(u)
+
+    def constrain_np(self, z: np.ndarray) -> np.ndarray:
+        return self.lo + (self.hi - self.lo) * sps.expit(np.asarray(z, dtype=float))
+
+
+class Ordered(Transform):
+    """Strictly increasing vector: v_0 = z_0, v_k = v_{k-1} + exp(z_k).
+
+    log|J| = sum_{k>=1} z_k.
+    """
+
+    def constrain(self, z: Var) -> Tuple[Var, Var]:
+        if z.ndim != 1 or z.size < 1:
+            raise ValueError("Ordered transform requires a 1-D vector")
+        first = z[0:1]
+        if z.size == 1:
+            return z, ops.constant(0.0)
+        rest = ops.exp(z[1:])
+        increments = ops.concat([first, rest])
+        return ops.cumsum(increments), ops.sum(z[1:])
+
+    def unconstrain(self, value: np.ndarray) -> np.ndarray:
+        value = np.asarray(value, dtype=float)
+        if np.any(np.diff(value) <= 0):
+            raise ValueError("Ordered transform requires strictly increasing values")
+        out = np.empty_like(value)
+        out[0] = value[0]
+        out[1:] = np.log(np.diff(value))
+        return out
+
+    def constrain_np(self, z: np.ndarray) -> np.ndarray:
+        z = np.asarray(z, dtype=float)
+        increments = np.concatenate([z[:1], np.exp(z[1:])])
+        return np.cumsum(increments)
+
+
+class Simplex(Transform):
+    """Probability simplex via Stan's stick-breaking construction.
+
+    An unconstrained vector of length K-1 maps to a length-K simplex.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 2:
+            raise ValueError("Simplex requires size >= 2")
+        self.size = int(size)
+
+    @property
+    def unconstrained_size(self) -> int:
+        return self.size - 1
+
+    def constrain(self, z: Var) -> Tuple[Var, Var]:
+        if z.size != self.size - 1:
+            raise ValueError(
+                f"Simplex({self.size}) expects {self.size - 1} unconstrained values"
+            )
+        k = self.size
+        remaining = ops.constant(1.0)
+        parts = []
+        log_jac = ops.constant(0.0)
+        for i in range(k - 1):
+            # Stan offsets the logit so a zero vector maps to the uniform simplex.
+            offset = float(np.log(1.0 / (k - i - 1)))
+            frac = ops.sigmoid(z[i] + offset)
+            piece = remaining * frac
+            parts.append(piece)
+            log_jac = (
+                log_jac
+                + ops.log(remaining)
+                + ops.log_sigmoid(z[i] + offset)
+                + ops.log_sigmoid(-(z[i] + offset))
+            )
+            remaining = remaining - piece
+        parts.append(remaining)
+        return ops.stack(parts), log_jac
+
+    def unconstrain(self, value: np.ndarray) -> np.ndarray:
+        value = np.asarray(value, dtype=float)
+        if value.size != self.size or not np.isclose(value.sum(), 1.0):
+            raise ValueError("Simplex.unconstrain requires a length-K simplex")
+        k = self.size
+        z = np.empty(k - 1)
+        remaining = 1.0
+        for i in range(k - 1):
+            frac = value[i] / remaining
+            offset = np.log(1.0 / (k - i - 1))
+            z[i] = sps.logit(np.clip(frac, 1e-12, 1.0 - 1e-12)) - offset
+            remaining -= value[i]
+        return z

@@ -1,0 +1,32 @@
+"""BayesSuite: the paper's ten Bayesian inference workloads (Table I).
+
+Each workload pairs a model (written against :mod:`repro.models`) with a
+seeded synthetic dataset from :mod:`repro.suite.data` standing in for the
+original (non-redistributable) data at the same scale ordering. Load by name
+through :func:`~repro.suite.registry.load_workload`:
+
+>>> from repro.suite import load_workload
+>>> model = load_workload("12cities")
+>>> model.dim
+16
+"""
+
+from repro.suite.registry import (
+    WORKLOAD_CLASSES,
+    WorkloadInfo,
+    load_workload,
+    table_one,
+    workload_info,
+    workload_names,
+)
+from repro.suite.data import GENERATORS
+
+__all__ = [
+    "WORKLOAD_CLASSES",
+    "WorkloadInfo",
+    "load_workload",
+    "table_one",
+    "workload_info",
+    "workload_names",
+    "GENERATORS",
+]

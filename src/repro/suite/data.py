@@ -1,0 +1,377 @@
+"""Synthetic dataset generators for the BayesSuite workloads.
+
+The paper's workloads use real datasets (FARS crashes, NYC tickets, North
+Carolina police stops, ADNI biomarkers, ...) that are not redistributable.
+Each generator here draws from the workload's *generative model* with known
+ground-truth parameters, at the same scale ordering as the original data:
+the characterization results depend on data size and shape, not on the
+actual field values (see DESIGN.md, substitution table).
+
+Every generator takes:
+
+* ``scale`` — fraction of the full dataset size, used for the paper's
+  Figure 3 ``-h`` (half) and ``-q`` (quarter) runs;
+* ``seed`` — deterministic generation.
+
+and returns a dict with the observed arrays (registered as modeled data by
+the workload model) plus a ``truth`` sub-dict of generating parameters used
+by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+from scipy import special as sps
+
+from repro.suite.odes import FribergKarlsson, rk4_solve
+from repro.suite.gp import rbf_kernel_np
+from repro.suite.splines import i_spline_basis
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(np.random.SeedSequence(seed))
+
+
+def _scaled(n: int, scale: float, minimum: int = 4) -> int:
+    if not 0.0 < scale <= 1.0:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    return max(int(round(n * scale)), minimum)
+
+
+def make_twelve_cities(scale: float = 1.0, seed: int = 101) -> Dict:
+    """Pedestrian fatality counts before/after speed-limit changes.
+
+    Poisson counts for 12 cities over monthly periods, with a city effect,
+    a seasonal covariate, and a negative effect of the lowered speed limit
+    (the paper's headline: lowering limits saves lives).
+    """
+    rng = _rng(seed)
+    n_cities = 12
+    n_months = _scaled(40, scale)
+    city = np.repeat(np.arange(n_cities), n_months)
+    month = np.tile(np.arange(n_months), n_cities)
+
+    city_effect = rng.normal(0.0, 0.4, size=n_cities)
+    beta_limit = -0.35          # lowering the limit reduces fatalities
+    season = 0.15 * np.sin(2 * np.pi * month / 12.0)
+    # Each city lowers its limit at a random month.
+    change_month = rng.integers(n_months // 4, 3 * n_months // 4, size=n_cities)
+    lowered = (month >= change_month[city]).astype(float)
+    exposure = rng.uniform(0.5, 2.0, size=n_cities)[city]  # population proxy
+
+    log_rate = 1.2 + city_effect[city] + beta_limit * lowered + season + np.log(exposure)
+    deaths = rng.poisson(np.exp(log_rate))
+
+    return {
+        "deaths": deaths.astype(np.int64),
+        "city": city.astype(np.int64),
+        "lowered": lowered,
+        "season": season,
+        "log_exposure": np.log(exposure),
+        "n_cities": n_cities,
+        "truth": {"beta_limit": beta_limit, "city_effect": city_effect},
+    }
+
+
+def make_ad(scale: float = 1.0, seed: int = 102) -> Dict:
+    """Movie advertising attribution survey: logistic regression.
+
+    Binary "saw the movie" outcomes against demographic/channel features.
+    The feature matrix is the workload's (large) modeled data.
+    """
+    rng = _rng(seed)
+    n = _scaled(2200, scale)
+    n_channels = 6   # TV, online, trailer, print, social, outdoor
+    n_demo = 6
+    n_groups = 20    # demographic cells (age band x region)
+
+    demographics = rng.normal(size=(n, n_demo))
+    demographics[:, 0] = 1.0  # intercept column
+    exposures = rng.exponential(2.0, size=(n, n_channels))  # ad exposures
+
+    beta_demo = np.array([-0.9, 0.5, -0.3, 0.2, 0.0, 0.4])
+    # TV dominates attribution; print and outdoor are near-useless.
+    beta_channel = np.array([0.9, 0.15, 0.5, 0.05, 0.3, 0.1])
+    saturation = np.array([1.0, 1.5, 0.5, 1.0, 2.0, 0.7])
+    group = rng.integers(0, n_groups, size=n)
+    group_effect = rng.normal(0.0, 0.4, size=n_groups)
+
+    channel_response = np.log1p(exposures * saturation) @ beta_channel
+    eta = demographics @ beta_demo + channel_response + group_effect[group]
+    saw_movie = (rng.uniform(size=n) < sps.expit(eta)).astype(np.int64)
+    return {
+        "demographics": demographics,
+        "exposures": exposures,
+        "saw_movie": saw_movie,
+        "group": group.astype(np.int64),
+        "n_groups": n_groups,
+        "truth": {
+            "beta_demo": beta_demo,
+            "beta_channel": beta_channel,
+            "saturation": saturation,
+            "group_effect": group_effect,
+        },
+    }
+
+
+def make_ode(scale: float = 1.0, seed: int = 103) -> Dict:
+    """Friberg-Karlsson pharmacokinetics: drug and neutrophil time series."""
+    rng = _rng(seed)
+    n_times = _scaled(16, scale, minimum=6)
+    model = FribergKarlsson()
+    truth = np.array([10.0, 35.0, 90.0, 5.0, 0.17, 0.3])  # CL V MTT CIRC0 GAMMA EMAX
+    dose = 80.0
+    t_eval = np.concatenate([[0.0], np.linspace(2.0, 160.0, n_times)])
+    y0 = model.initial_state(dose, truth[3])
+    solution = rk4_solve(model.rhs, y0, t_eval, truth, steps_per_interval=3)
+    drug = solution[1:, 0]
+    neut = solution[1:, 5]
+    drug_obs = drug * np.exp(rng.normal(0.0, 0.08, size=drug.size))
+    neut_obs = neut * np.exp(rng.normal(0.0, 0.08, size=neut.size))
+    return {
+        "time": t_eval[1:],
+        "drug_obs": drug_obs,
+        "neut_obs": neut_obs,
+        "dose": dose,
+        "truth": {"theta": truth},
+    }
+
+
+def make_memory(scale: float = 1.0, seed: int = 104) -> Dict:
+    """Memory retrieval in sentence comprehension.
+
+    Per-trial recall latencies (lognormal) and accuracies (bernoulli) under
+    a content-addressable direct-access model: a retrieval-difficulty
+    condition slows latency and lowers accuracy, with subject-level effects.
+    """
+    rng = _rng(seed)
+    n_subjects = 40
+    n_trials = _scaled(38, scale)
+    n = n_subjects * n_trials
+    subject = np.repeat(np.arange(n_subjects), n_trials)
+    condition = np.tile(np.arange(n_trials) % 2, n_subjects).astype(float)
+
+    subj_speed = rng.normal(0.0, 0.2, size=n_subjects)
+    beta_condition = 0.25      # harder condition -> slower retrieval
+    mu_rt = 6.0 + subj_speed[subject] + beta_condition * condition
+    latency_ms = np.exp(mu_rt + rng.normal(0.0, 0.3, size=n))
+
+    acc_eta = 1.5 - 0.8 * condition + subj_speed[subject]
+    accuracy = (rng.uniform(size=n) < sps.expit(acc_eta)).astype(np.int64)
+    return {
+        "latency_ms": latency_ms,
+        "accuracy": accuracy,
+        "condition": condition,
+        "subject": subject.astype(np.int64),
+        "n_subjects": n_subjects,
+        "truth": {"beta_condition": beta_condition, "subj_speed": subj_speed},
+    }
+
+
+def make_votes(scale: float = 1.0, seed: int = 105) -> Dict:
+    """State-level presidential vote shares over election years (GP data)."""
+    rng = _rng(seed)
+    n_states = 10
+    n_elections = _scaled(11, scale, minimum=6)  # 1976..2016 every 4 years
+    years = 1976.0 + 4.0 * np.arange(n_elections)
+    x = (years - years.mean()) / 10.0
+
+    amplitude, lengthscale, noise = 0.08, 1.2, 0.02
+    cov = rbf_kernel_np(x, amplitude, lengthscale, noise)
+    state_mean = rng.uniform(0.35, 0.65, size=n_states)
+    shares = np.empty((n_states, n_elections))
+    chol = np.linalg.cholesky(cov)
+    for s in range(n_states):
+        shares[s] = state_mean[s] + chol @ rng.normal(size=n_elections)
+    shares = np.clip(shares, 0.05, 0.95)
+    return {
+        "years": years,
+        "x": x,
+        "shares": shares,
+        "truth": {
+            "amplitude": amplitude,
+            "lengthscale": lengthscale,
+            "noise": noise,
+            "state_mean": state_mean,
+        },
+    }
+
+
+def make_tickets(scale: float = 1.0, seed: int = 106) -> Dict:
+    """NYPD ticket writing under departmental productivity targets.
+
+    Monthly ticket counts per officer. The generative story (Auerbach 2017):
+    officers have heterogeneous base rates, and during end-of-quota phases
+    they shift output toward the departmental target. This is by far the
+    largest modeled dataset in the suite, as in the paper.
+    """
+    rng = _rng(seed)
+    n_officers = 400
+    n_months = _scaled(36, scale)
+    officer = np.repeat(np.arange(n_officers), n_months)
+    month = np.tile(np.arange(n_months), n_officers)
+
+    officer_rate = rng.normal(2.3, 0.5, size=n_officers)   # log tickets/month
+    quota_phase = ((month % 3) == 2).astype(float)          # end of quarter
+    exposure = rng.uniform(0.7, 1.3, size=officer.size)     # days on duty
+    target = 14.0                                           # departmental target
+    match_prob = 0.35   # fraction of quota-phase months written to the target
+
+    base_rate = np.exp(officer_rate[officer] + np.log(exposure))
+    matching = (rng.uniform(size=officer.size) < match_prob) & (quota_phase > 0)
+    rate = np.where(matching, target, base_rate)
+    tickets = rng.poisson(rate)
+    return {
+        "tickets": tickets.astype(np.int64),
+        "officer": officer.astype(np.int64),
+        "quota_phase": quota_phase,
+        "log_exposure": np.log(exposure),
+        "n_officers": n_officers,
+        "truth": {
+            "match_prob": match_prob,
+            "target": target,
+            "officer_rate": officer_rate,
+        },
+    }
+
+
+def make_disease(scale: float = 1.0, seed: int = 107) -> Dict:
+    """Alzheimer's biomarker progression: monotone I-spline regression.
+
+    A biomarker deteriorates monotonically along normalized disease time;
+    observations are noisy draws around the monotone curve.
+    """
+    rng = _rng(seed)
+    n = _scaled(220, scale)
+    knots = np.array([0.25, 0.5, 0.75])
+    t = np.sort(rng.uniform(0.0, 1.0, size=n))
+    basis = i_spline_basis(t, knots, degree=3)
+    weights = np.array([0.4, 1.1, 0.2, 0.9, 1.4, 0.3, 0.6])[: basis.shape[1]]
+    baseline = 1.0
+    signal = baseline + basis @ weights
+    y = signal + rng.normal(0.0, 0.25, size=n)
+    return {
+        "t": t,
+        "y": y,
+        "knots": knots,
+        "truth": {"weights": weights, "baseline": baseline, "sigma": 0.25},
+    }
+
+
+def make_racial(scale: float = 1.0, seed: int = 108) -> Dict:
+    """Threshold test for racial bias in vehicle searches (Simoiu et al.).
+
+    Aggregated stop/search/hit counts per (department, race). Officers
+    search when the perceived guilt signal exceeds a department-race
+    threshold; biased thresholds are lower for minority groups.
+    """
+    rng = _rng(seed)
+    n_depts = 15
+    n_races = 4
+    base_stops = _scaled(3000, scale, minimum=400)
+
+    # Signal: probability of carrying contraband, logit-normal per race.
+    signal_mean = np.array([-1.1, -0.9, -1.0, -1.05])
+    signal_sd = 0.9
+    thresholds = np.clip(
+        0.28 + rng.normal(0.0, 0.03, size=(n_depts, n_races))
+        - np.array([0.0, 0.08, 0.06, 0.02]),   # lower bar for minorities
+        0.05, 0.9,
+    )
+
+    stops = rng.poisson(base_stops / n_depts, size=(n_depts, n_races)) + 50
+    searches = np.zeros((n_depts, n_races), dtype=np.int64)
+    hits = np.zeros((n_depts, n_races), dtype=np.int64)
+    for d in range(n_depts):
+        for r in range(n_races):
+            p_guilt = sps.expit(signal_mean[r] + signal_sd * rng.normal(size=stops[d, r]))
+            searched = p_guilt > thresholds[d, r]
+            searches[d, r] = searched.sum()
+            hits[d, r] = (rng.uniform(size=searched.sum()) < p_guilt[searched]).sum()
+    return {
+        "stops": stops.reshape(-1),
+        "searches": searches.reshape(-1),
+        "hits": hits.reshape(-1),
+        "n_depts": n_depts,
+        "n_races": n_races,
+        "truth": {"thresholds": thresholds, "signal_mean": signal_mean},
+    }
+
+
+def make_butterfly(scale: float = 1.0, seed: int = 109) -> Dict:
+    """Butterfly species richness (Dorazio et al. occupancy model).
+
+    Detection counts per (species, site) out of repeated visits; a species
+    occupies a site with probability psi and is detected per-visit with
+    probability p when present.
+    """
+    rng = _rng(seed)
+    n_species = 24
+    n_sites = 15
+    n_visits = _scaled(18, scale, minimum=6)
+
+    occupancy_logit = rng.normal(0.4, 1.0, size=n_species)
+    detection_logit = rng.normal(-1.2, 0.7, size=n_species)
+    psi = sps.expit(occupancy_logit)
+    p_det = sps.expit(detection_logit)
+
+    occupied = rng.uniform(size=(n_species, n_sites)) < psi[:, None]
+    detections = rng.binomial(n_visits, p_det[:, None] * occupied)
+    return {
+        "detections": detections.astype(np.int64).reshape(-1),
+        "species": np.repeat(np.arange(n_species), n_sites).astype(np.int64),
+        "n_visits": n_visits,
+        "n_species": n_species,
+        "n_sites": n_sites,
+        "truth": {
+            "occupancy_logit": occupancy_logit,
+            "detection_logit": detection_logit,
+        },
+    }
+
+
+def make_survival(scale: float = 1.0, seed: int = 110) -> Dict:
+    """Cormack-Jolly-Seber capture-recapture histories.
+
+    Individual capture histories over occasions; animals survive between
+    occasions with probability phi and, if alive, are recaptured with
+    probability p. Data size is second-tier large (LLC-relevant), as in
+    the paper.
+    """
+    rng = _rng(seed)
+    n_individuals = _scaled(1600, scale, minimum=100)
+    n_occasions = 7
+    phi = np.full(n_occasions - 1, 0.78)    # survival between occasions
+    p_cap = np.full(n_occasions - 1, 0.55)  # recapture probability
+
+    histories = np.zeros((n_individuals, n_occasions), dtype=np.int64)
+    first = rng.integers(0, n_occasions - 1, size=n_individuals)
+    for i in range(n_individuals):
+        histories[i, first[i]] = 1
+        alive = True
+        for t in range(first[i], n_occasions - 1):
+            alive = alive and (rng.uniform() < phi[t])
+            if alive and rng.uniform() < p_cap[t]:
+                histories[i, t + 1] = 1
+    return {
+        "histories": histories,
+        "first_capture": first.astype(np.int64),
+        "n_occasions": n_occasions,
+        "truth": {"phi": phi, "p": p_cap},
+    }
+
+
+GENERATORS = {
+    "12cities": make_twelve_cities,
+    "ad": make_ad,
+    "ode": make_ode,
+    "memory": make_memory,
+    "votes": make_votes,
+    "tickets": make_tickets,
+    "disease": make_disease,
+    "racial": make_racial,
+    "butterfly": make_butterfly,
+    "survival": make_survival,
+}

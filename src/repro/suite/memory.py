@@ -1,0 +1,70 @@
+"""``memory`` — retrieval from content-addressable memory in sentence
+comprehension.
+
+Hierarchical Bayesian model of recall latency (lognormal) and accuracy
+(bernoulli) under a direct-access retrieval account (Nicenboim & Vasishth
+2016; McElree 2000): a retrieval-difficulty condition slows latencies and
+lowers accuracy, with correlated subject-level effects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.autodiff import ops
+from repro.autodiff.tape import Var
+from repro.models import BayesianModel, ParameterSpec
+from repro.models import distributions as dist
+from repro.models.transforms import Positive
+from repro.suite.data import make_memory
+
+
+class Memory(BayesianModel):
+    name = "memory"
+    model_family = "Hierarchical Bayesian"
+    application = "Modeling memory retrieval in sentence comprehension"
+    reference = "Nicenboim & Vasishth 2016 (arXiv:1612.04174)"
+    default_iterations = 6000
+    default_warmup = 500
+    default_chains = 4
+
+    def __init__(self, scale: float = 1.0, seed: int = 104) -> None:
+        super().__init__()
+        data = make_memory(scale=scale, seed=seed)
+        self.truth = data.pop("truth")
+        self.n_subjects = data.pop("n_subjects")
+        self.add_data(**data)
+
+    @property
+    def params(self):
+        return [
+            ParameterSpec("mu_rt", 1, init=6.0),
+            ParameterSpec("subj_raw", self.n_subjects, init=0.0),
+            ParameterSpec("sigma_subj", 1, transform=Positive(), init=0.2),
+            ParameterSpec("beta_cond", 1, init=0.0),
+            ParameterSpec("sigma_rt", 1, transform=Positive(), init=0.3),
+            ParameterSpec("acc_intercept", 1, init=1.0),
+            ParameterSpec("acc_beta", 1, init=0.0),
+        ]
+
+    def log_joint(self, p: Dict[str, Var]) -> Var:
+        condition = ops.constant(self.data("condition"))
+        # Non-centered subject effects: effect = sigma_subj * raw.
+        subj_effect = p["sigma_subj"] * ops.take(
+            p["subj_raw"], self.data("subject")
+        )
+
+        rt_mu = p["mu_rt"] + subj_effect + p["beta_cond"] * condition
+        acc_eta = p["acc_intercept"] + p["acc_beta"] * condition + subj_effect
+
+        return (
+            dist.lognormal_lpdf(self.data("latency_ms"), rt_mu, p["sigma_rt"])
+            + dist.bernoulli_logit_lpmf(self.data("accuracy"), acc_eta)
+            + dist.normal_lpdf(p["subj_raw"], 0.0, 1.0)
+            + dist.half_cauchy_lpdf(p["sigma_subj"], 0.5)
+            + dist.half_cauchy_lpdf(p["sigma_rt"], 0.5)
+            + dist.normal_lpdf(p["mu_rt"], 6.0, 2.0)
+            + dist.normal_lpdf(p["beta_cond"], 0.0, 1.0)
+            + dist.normal_lpdf(p["acc_intercept"], 0.0, 2.0)
+            + dist.normal_lpdf(p["acc_beta"], 0.0, 1.0)
+        )

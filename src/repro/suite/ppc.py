@@ -1,0 +1,159 @@
+"""Posterior predictive checks for BayesSuite workloads.
+
+A reproduction of a *benchmark suite* should demonstrate that its models
+actually fit their data, not just that the sampler runs. The checks here
+replicate datasets from posterior draws and compare a test statistic against
+its observed value — the classic PPC p-value: well-calibrated models give
+values away from 0 and 1.
+
+Implemented for the count/binary workloads whose likelihoods are cheap to
+replicate; each replicator takes one *constrained* draw dict and returns a
+synthetic observation vector shaped like the model's data.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+from scipy import special as sps
+
+Draw = Dict[str, np.ndarray]
+Statistic = Callable[[np.ndarray], float]
+
+
+def replicate_twelve_cities(model, draw: Draw, rng: np.random.Generator) -> np.ndarray:
+    city = model.data("city")
+    log_rate = (
+        draw["intercept"][0]
+        + draw["sigma_city"][0] * draw["city_raw"][city]
+        + draw["beta_limit"][0] * model.data("lowered")
+        + draw["beta_season"][0] * model.data("season")
+        + model.data("log_exposure")
+    )
+    return rng.poisson(np.exp(log_rate))
+
+
+def replicate_ad(model, draw: Draw, rng: np.random.Generator) -> np.ndarray:
+    eta = model.data("demographics") @ draw["beta_demo"]
+    exposures = model.data("exposures")
+    for c in range(model.n_channels):
+        eta = eta + draw["beta_channel"][c] * np.log1p(
+            draw["saturation"][c] * exposures[:, c]
+        )
+    eta = eta + draw["group_effect"][model.data("group")]
+    return (rng.uniform(size=eta.size) < sps.expit(eta)).astype(np.int64)
+
+
+def replicate_tickets(model, draw: Draw, rng: np.random.Generator) -> np.ndarray:
+    officer = model.data("officer")
+    officer_effect = draw["mu_officer"][0] + draw["sigma_officer"][0] * draw["officer_raw"]
+    base_rate = np.exp(officer_effect[officer] + model.data("log_exposure"))
+    w = sps.expit(draw["w_logit"][0])
+    target_rate = np.exp(draw["log_target"][0])
+    quota = model.data("quota_phase") > 0
+    matching = (rng.uniform(size=officer.size) < w) & quota
+    return rng.poisson(np.where(matching, target_rate, base_rate))
+
+
+def replicate_memory(model, draw: Draw, rng: np.random.Generator) -> np.ndarray:
+    subject = model.data("subject")
+    condition = model.data("condition")
+    subj_effect = draw["sigma_subj"][0] * draw["subj_raw"][subject]
+    mu = draw["mu_rt"][0] + subj_effect + draw["beta_cond"][0] * condition
+    return np.exp(mu + draw["sigma_rt"][0] * rng.normal(size=mu.size))
+
+
+def replicate_disease(model, draw: Draw, rng: np.random.Generator) -> np.ndarray:
+    signal = draw["baseline"][0] + model._basis @ draw["weights"]
+    return signal + draw["sigma"][0] * rng.normal(size=signal.size)
+
+
+def replicate_survival(model, draw: Draw, rng: np.random.Generator) -> np.ndarray:
+    histories = model.data("histories")
+    first = model.data("first_capture")
+    n, T = histories.shape
+    phi = sps.expit(draw["phi_logit"])
+    p = sps.expit(draw["p_logit"])
+    replicated = np.zeros_like(histories)
+    alive_mask = np.ones(n, dtype=bool)
+    replicated[np.arange(n), first] = 1
+    for t in range(T - 1):
+        active = alive_mask & (first <= t)
+        survive = rng.uniform(size=n) < phi[t]
+        alive_mask = alive_mask & (~active | survive)
+        recapture = active & alive_mask & (rng.uniform(size=n) < p[t])
+        replicated[recapture, t + 1] = 1
+    return replicated
+
+
+def replicate_butterfly(model, draw: Draw, rng: np.random.Generator) -> np.ndarray:
+    species = model.data("species")
+    psi = sps.expit(draw["occ_logit"])[species]
+    p_det = sps.expit(draw["det_logit"])[species]
+    occupied = rng.uniform(size=species.size) < psi
+    return rng.binomial(model.n_visits, p_det * occupied)
+
+
+def replicate_votes(model, draw: Draw, rng: np.random.Generator) -> np.ndarray:
+    from repro.suite.gp import rbf_kernel_np
+
+    x = model.data("x")
+    cov = rbf_kernel_np(
+        x, draw["amplitude"][0], draw["lengthscale"][0], draw["noise"][0]
+    )
+    chol = np.linalg.cholesky(cov + 1e-10 * np.eye(x.size))
+    shares = np.empty_like(model.data("shares"))
+    for s in range(shares.shape[0]):
+        shares[s] = draw["state_mean"][s] + chol @ rng.normal(size=x.size)
+    return shares
+
+
+_REPLICATORS = {
+    "12cities": ("deaths", replicate_twelve_cities),
+    "ad": ("saw_movie", replicate_ad),
+    "tickets": ("tickets", replicate_tickets),
+    "memory": ("latency_ms", replicate_memory),
+    "disease": ("y", replicate_disease),
+    "survival": ("histories", replicate_survival),
+    "butterfly": ("detections", replicate_butterfly),
+    "votes": ("shares", replicate_votes),
+}
+
+
+def supported_workloads() -> list:
+    return sorted(_REPLICATORS)
+
+
+def ppc_pvalue(
+    model,
+    result,
+    statistic: Statistic = np.mean,
+    n_replications: int = 100,
+    seed: int = 0,
+) -> float:
+    """Posterior predictive p-value of ``statistic`` for one workload.
+
+    P(T(y_rep) >= T(y_obs)) across replications; values near 0 or 1 signal
+    misfit, values in between indicate the model captures the statistic.
+    """
+    try:
+        data_key, replicate = _REPLICATORS[model.name]
+    except KeyError:
+        raise KeyError(
+            f"no posterior-predictive replicator for {model.name!r}; "
+            f"supported: {', '.join(supported_workloads())}"
+        ) from None
+
+    rng = np.random.default_rng(seed)
+    observed = statistic(model.data(data_key))
+
+    pooled = result.pooled()
+    indices = rng.choice(pooled.shape[0], size=n_replications, replace=True)
+    exceed = 0
+    for index in indices:
+        draw = model.constrain(pooled[index])
+        replicated = replicate(model, draw, rng)
+        if statistic(replicated) >= observed:
+            exceed += 1
+    return exceed / n_replications

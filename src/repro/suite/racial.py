@@ -1,0 +1,112 @@
+"""``racial`` — the threshold test for racial bias in vehicle searches.
+
+Hierarchical latent Bayesian model after Simoiu, Corbett-Davies & Goel
+(2017): officers search a stopped driver when the perceived guilt signal
+exceeds a department-and-race-specific threshold. Search rates identify the
+threshold location; hit rates identify the signal distribution. Racial bias
+appears as systematically *lower* thresholds for minority groups.
+
+The signal is modeled as Gaussian on the logit-guilt scale, which gives
+closed-form search probabilities (via the normal CDF) and a smooth
+inverse-Mills approximation for the conditional hit rate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.autodiff import ops
+from repro.autodiff.tape import Var
+from repro.models import BayesianModel, ParameterSpec
+from repro.models import distributions as dist
+from repro.models.transforms import Positive
+from repro.suite.data import make_racial
+
+_SQRT_2PI = float(np.sqrt(2.0 * np.pi))
+
+
+def threshold_test_probabilities(threshold: Var, mu: Var, sd: Var):
+    """(search probability, hit probability) of the threshold test.
+
+    With a Gaussian guilt signal on the logit scale, the search probability
+    is ``P(signal > threshold) = Phi(-(threshold-mu)/sd)``; the conditional
+    hit rate is approximated by evaluating the logistic at the truncated-
+    Gaussian mean ``mu + sd*lambda(z)``, ``lambda`` the inverse Mills ratio.
+    """
+    z = (threshold - mu) / sd
+    search_prob = ops.normal_cdf(-z)
+    phi_z = ops.exp(ops.square(z) * -0.5) * (1.0 / _SQRT_2PI)
+    mills = phi_z / ops.clip_min(search_prob, 1e-12)
+    hit_prob = ops.sigmoid(mu + sd * mills)
+    return search_prob, hit_prob
+
+
+def _binomial_lpmf_p(successes, trials, p: Var) -> Var:
+    """Binomial log pmf with a direct probability parameter in (0, 1)."""
+    successes = np.asarray(successes, dtype=float)
+    trials = np.asarray(trials, dtype=float)
+    p_safe = ops.clip_min(p, 1e-9)
+    q_safe = ops.clip_min(1.0 - p, 1e-9)
+    return ops.sum(
+        ops.constant(successes) * ops.log(p_safe)
+        + ops.constant(trials - successes) * ops.log(q_safe)
+    )
+
+
+class Racial(BayesianModel):
+    name = "racial"
+    model_family = "Hierarchical Bayesian"
+    application = "Testing for racial bias in vehicle searches by police"
+    reference = "Simoiu et al. 2017; NC-style stop/search/hit counts"
+    default_iterations = 4000
+    default_warmup = 1000
+    default_chains = 4
+
+    def __init__(self, scale: float = 1.0, seed: int = 108) -> None:
+        super().__init__()
+        data = make_racial(scale=scale, seed=seed)
+        self.truth = data.pop("truth")
+        self.n_depts = data.pop("n_depts")
+        self.n_races = data.pop("n_races")
+        self.add_data(**data)
+        cells = self.n_depts * self.n_races
+        self._race_idx = np.tile(np.arange(self.n_races), self.n_depts)
+        self._dept_idx = np.repeat(np.arange(self.n_depts), self.n_races)
+        self._n_cells = cells
+
+    @property
+    def params(self):
+        return [
+            ParameterSpec("t_raw", self._n_cells, init=0.0),
+            ParameterSpec("race_threshold", self.n_races, init=-1.0),
+            ParameterSpec("dept_effect", self.n_depts, init=0.0),
+            ParameterSpec("sigma_t", 1, transform=Positive(), init=0.2),
+            ParameterSpec("signal_mean", self.n_races, init=-1.0),
+            ParameterSpec("signal_sd", 1, transform=Positive(), init=1.0),
+        ]
+
+    def log_joint(self, p: Dict[str, Var]) -> Var:
+        # Cell thresholds on the logit-guilt scale (non-centered).
+        t_mean = (
+            ops.take(p["race_threshold"], self._race_idx)
+            + ops.take(p["dept_effect"], self._dept_idx)
+        )
+        threshold = t_mean + p["t_raw"] * p["sigma_t"]
+
+        mu = ops.take(p["signal_mean"], self._race_idx)
+        search_prob, hit_prob = threshold_test_probabilities(
+            threshold, mu, p["signal_sd"]
+        )
+
+        return (
+            _binomial_lpmf_p(self.data("searches"), self.data("stops"), search_prob)
+            + _binomial_lpmf_p(self.data("hits"), self.data("searches"), hit_prob)
+            + dist.normal_lpdf(p["t_raw"], 0.0, 1.0)
+            + dist.normal_lpdf(p["race_threshold"], -1.0, 1.0)
+            + dist.normal_lpdf(p["dept_effect"], 0.0, 0.5)
+            + dist.half_normal_lpdf(p["sigma_t"], 0.5)
+            + dist.normal_lpdf(p["signal_mean"], -1.0, 1.0)
+            + dist.lognormal_lpdf(p["signal_sd"], 0.0, 0.5)
+        )

@@ -1,0 +1,83 @@
+"""BayesSuite registry — the programmatic form of the paper's Table I."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.models.model import BayesianModel
+from repro.suite.twelve_cities import TwelveCities
+from repro.suite.ad import Ad
+from repro.suite.ode import Ode
+from repro.suite.memory import Memory
+from repro.suite.votes import Votes
+from repro.suite.tickets import Tickets
+from repro.suite.disease import Disease
+from repro.suite.racial import Racial
+from repro.suite.butterfly import Butterfly
+from repro.suite.survival import Survival
+
+#: Table I order.
+WORKLOAD_CLASSES = [
+    TwelveCities, Ad, Ode, Memory, Votes,
+    Tickets, Disease, Racial, Butterfly, Survival,
+]
+
+_BY_NAME: Dict[str, type] = {cls.name: cls for cls in WORKLOAD_CLASSES}
+
+
+@dataclass
+class WorkloadInfo:
+    """One row of Table I."""
+
+    name: str
+    model_family: str
+    application: str
+    reference: str
+    default_iterations: int
+    default_chains: int
+
+
+def workload_names() -> List[str]:
+    """Suite workload names in Table I order."""
+    return [cls.name for cls in WORKLOAD_CLASSES]
+
+
+def workload_info(name: str) -> WorkloadInfo:
+    cls = _workload_class(name)
+    return WorkloadInfo(
+        name=cls.name,
+        model_family=cls.model_family,
+        application=cls.application,
+        reference=cls.reference,
+        default_iterations=cls.default_iterations,
+        default_chains=cls.default_chains,
+    )
+
+
+def table_one() -> List[WorkloadInfo]:
+    """All Table I rows."""
+    return [workload_info(name) for name in workload_names()]
+
+
+def load_workload(
+    name: str, scale: float = 1.0, seed: Optional[int] = None
+) -> BayesianModel:
+    """Instantiate a BayesSuite workload with its synthetic dataset.
+
+    ``scale`` shrinks the modeled data (0.5 and 0.25 give the paper's
+    ``-h`` and ``-q`` variants); ``seed`` overrides the default dataset seed.
+    """
+    cls = _workload_class(name)
+    if seed is None:
+        return cls(scale=scale)
+    return cls(scale=scale, seed=seed)
+
+
+def _workload_class(name: str) -> type:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(workload_names())}"
+        ) from None

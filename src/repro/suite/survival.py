@@ -1,0 +1,104 @@
+"""``survival`` — Cormack-Jolly-Seber animal survival estimation.
+
+CJS capture-recapture: animals survive occasion-to-occasion with probability
+phi_t and, when alive, are recaptured with probability p_t. The latent alive
+state after last capture is marginalized with the standard chi recursion
+(probability of never being seen again). The likelihood iterates the full
+individual capture-history matrix — the second-tier-large modeled dataset
+that makes this workload LLC-sensitive in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.autodiff import ops
+from repro.autodiff.tape import Var
+from repro.models import BayesianModel, ParameterSpec
+from repro.models import distributions as dist
+from repro.suite.data import make_survival
+
+
+class Survival(BayesianModel):
+    name = "survival"
+    model_family = "Cormack-Jolly-Seber"
+    application = "Estimating animal survival probabilities"
+    reference = "Kery & Schaub 2011 (BPA); capture-recapture histories"
+    default_iterations = 2000
+    default_warmup = 500
+    default_chains = 4
+
+    def __init__(self, scale: float = 1.0, seed: int = 110) -> None:
+        super().__init__()
+        data = make_survival(scale=scale, seed=seed)
+        self.truth = data.pop("truth")
+        self.n_occasions = data.pop("n_occasions")
+        self.add_data(**data)
+
+        histories = self.data("histories")
+        first = self.data("first_capture")
+        n, T = histories.shape
+        captured = np.argwhere(histories == 1)
+        last = np.zeros(n, dtype=int)
+        for i in range(n):
+            last[i] = np.flatnonzero(histories[i])[-1]
+
+        # Interval masks, shape (n, T-1): interval t spans occasion t -> t+1.
+        intervals = np.arange(T - 1)
+        self._alive = (intervals[None, :] >= first[:, None]) & (
+            intervals[None, :] < last[:, None]
+        )
+        self._recaptured = self._alive & (histories[:, 1:] == 1)
+        self._missed = self._alive & (histories[:, 1:] == 0)
+        self._last = last
+
+    @property
+    def params(self):
+        T = self.n_occasions
+        return [
+            ParameterSpec("phi_logit", T - 1, init=1.0),
+            ParameterSpec("p_logit", T - 1, init=0.0),
+        ]
+
+    def _chi(self, phi: Var, p: Var) -> Var:
+        """chi_t = P(never seen after occasion t | alive at t), length T."""
+        T = self.n_occasions
+        chi: List[Var] = [None] * T
+        chi[T - 1] = ops.constant(1.0)
+        for t in range(T - 2, -1, -1):
+            phi_t = phi[t]
+            p_t = p[t]
+            chi[t] = (1.0 - phi_t) + phi_t * (1.0 - p_t) * chi[t + 1]
+        return ops.stack(chi)
+
+    def log_joint(self, par: Dict[str, Var]) -> Var:
+        phi = ops.sigmoid(par["phi_logit"])
+        p = ops.sigmoid(par["p_logit"])
+
+        log_phi = ops.log_sigmoid(par["phi_logit"])
+        log_p = ops.log_sigmoid(par["p_logit"])
+        log_1m_p = ops.log_sigmoid(-par["p_logit"])
+
+        # Iterate the full history matrix: each alive interval contributes
+        # log phi_t plus log p_t (recaptured) or log(1-p_t) (missed).
+        alive_counts = ops.constant(self._alive.astype(float))
+        recap_counts = ops.constant(self._recaptured.astype(float))
+        missed_counts = ops.constant(self._missed.astype(float))
+        per_interval = (
+            alive_counts * log_phi
+            + recap_counts * log_p
+            + missed_counts * log_1m_p
+        )
+        lp_history = ops.sum(per_interval)
+
+        chi = self._chi(phi, p)
+        lp_chi = ops.sum(ops.log(ops.take(chi, self._last)))
+
+        return (
+            lp_history
+            + lp_chi
+            + dist.normal_lpdf(par["phi_logit"], 0.0, 1.5)
+            + dist.normal_lpdf(par["p_logit"], 0.0, 1.5)
+        )

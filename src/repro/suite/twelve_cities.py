@@ -1,0 +1,64 @@
+"""``12cities`` — does lowering speed limits save pedestrian lives?
+
+Hierarchical Poisson regression of monthly pedestrian fatality counts on a
+speed-limit-change indicator, with city effects and a seasonal covariate
+(Auerbach, Eshleman & Trangucci 2017; data originally from FARS).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.autodiff import ops
+from repro.autodiff.tape import Var
+from repro.models import BayesianModel, ParameterSpec
+from repro.models import distributions as dist
+from repro.models.transforms import Positive
+from repro.suite.data import make_twelve_cities
+
+
+class TwelveCities(BayesianModel):
+    name = "12cities"
+    model_family = "Poisson Regression"
+    application = "Does lowering speed limits save pedestrian lives?"
+    reference = "Auerbach et al. 2017 (arXiv:1705.10876); data: FARS"
+    default_iterations = 2000
+    default_warmup = 1000
+    default_chains = 4
+
+    def __init__(self, scale: float = 1.0, seed: int = 101) -> None:
+        super().__init__()
+        data = make_twelve_cities(scale=scale, seed=seed)
+        self.truth = data.pop("truth")
+        self.n_cities = data.pop("n_cities")
+        self.add_data(**data)
+
+    @property
+    def params(self):
+        return [
+            ParameterSpec("intercept", 1, init=1.0),
+            ParameterSpec("city_raw", self.n_cities, init=0.0),
+            ParameterSpec("sigma_city", 1, transform=Positive(), init=0.5),
+            ParameterSpec("beta_limit", 1, init=0.0),
+            ParameterSpec("beta_season", 1, init=0.0),
+        ]
+
+    def log_joint(self, p: Dict[str, Var]) -> Var:
+        deaths = self.data("deaths")
+        city = self.data("city")
+        # Non-centered city effects: effect = sigma_city * raw.
+        log_rate = (
+            p["intercept"]
+            + p["sigma_city"] * ops.take(p["city_raw"], city)
+            + p["beta_limit"] * ops.constant(self.data("lowered"))
+            + p["beta_season"] * ops.constant(self.data("season"))
+            + ops.constant(self.data("log_exposure"))
+        )
+        return (
+            dist.poisson_log_lpmf(deaths, log_rate)
+            + dist.normal_lpdf(p["city_raw"], 0.0, 1.0)
+            + dist.half_cauchy_lpdf(p["sigma_city"], 1.0)
+            + dist.normal_lpdf(p["intercept"], 0.0, 5.0)
+            + dist.normal_lpdf(p["beta_limit"], 0.0, 2.0)
+            + dist.normal_lpdf(p["beta_season"], 0.0, 2.0)
+        )

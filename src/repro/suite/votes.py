@@ -1,0 +1,71 @@
+"""``votes`` — forecasting presidential vote shares with Gaussian processes.
+
+A hierarchical GP over election years: every state's vote-share series is a
+draw from a zero-mean GP (shared amplitude/lengthscale/noise hyperparameters)
+around a state-specific mean. The marginal-likelihood formulation keeps the
+sampling space small while the per-iteration work is dense linear algebra —
+the high-IPC, compute-dense profile the paper reports for this workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.autodiff import ops
+from repro.autodiff.tape import Var
+from repro.models import BayesianModel, ParameterSpec
+from repro.models import distributions as dist
+from repro.models.transforms import Positive
+from repro.suite.data import make_votes
+from repro.suite.gp import rbf_kernel, squared_distance_matrix
+
+
+class Votes(BayesianModel):
+    name = "votes"
+    model_family = "Hierarchical Gaussian Processes"
+    application = "Forecasting presidential votes"
+    reference = "StanCon 2017; historical (1976-2016) presidential votes"
+    default_iterations = 1500
+    default_warmup = 500
+    default_chains = 4
+
+    def __init__(self, scale: float = 1.0, seed: int = 105) -> None:
+        super().__init__()
+        data = make_votes(scale=scale, seed=seed)
+        self.truth = data.pop("truth")
+        self.add_data(**data)
+        self.n_states = self.data("shares").shape[0]
+        self._sq_dist = squared_distance_matrix(self.data("x"))
+
+    @property
+    def params(self):
+        return [
+            ParameterSpec("amplitude", 1, transform=Positive(), init=0.1),
+            ParameterSpec("lengthscale", 1, transform=Positive(), init=1.0),
+            ParameterSpec("noise", 1, transform=Positive(), init=0.05),
+            ParameterSpec("state_mean", self.n_states, init=0.5),
+        ]
+
+    def log_joint(self, p: Dict[str, Var]) -> Var:
+        shares = self.data("shares")
+        cov = rbf_kernel(self._sq_dist, p["amplitude"], p["lengthscale"], p["noise"])
+        logdet = ops.logdet_spd(cov)
+        n_elections = shares.shape[1]
+        log_2pi = float(np.log(2.0 * np.pi))
+
+        total = ops.constant(0.0)
+        for s in range(self.n_states):
+            resid = ops.constant(shares[s]) - p["state_mean"][s]
+            alpha = ops.solve_spd(cov, resid)
+            quad = ops.dot(resid, alpha)
+            total = total + (quad + logdet + n_elections * log_2pi) * -0.5
+
+        return (
+            total
+            + dist.normal_lpdf(p["state_mean"], 0.5, 0.2)
+            + dist.half_normal_lpdf(p["amplitude"], 0.2)
+            + dist.lognormal_lpdf(p["lengthscale"], 0.0, 1.0)
+            + dist.half_normal_lpdf(p["noise"], 0.1)
+        )

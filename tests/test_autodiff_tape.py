@@ -1,0 +1,134 @@
+"""Unit tests for the autodiff tape core."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Var, var, constant, ops, value_and_grad
+from repro.autodiff.tape import _unbroadcast
+
+
+class TestVarBasics:
+    def test_leaf_wraps_value_as_float_array(self):
+        v = var([1, 2, 3])
+        assert v.value.dtype == float
+        assert v.shape == (3,)
+
+    def test_var_of_var_is_identity(self):
+        v = var(np.ones(2))
+        assert var(v) is v
+
+    def test_constant_does_not_require_grad(self):
+        c = constant(np.ones(2))
+        assert not c.requires_grad
+
+    def test_len_ndim_size(self):
+        v = var(np.zeros((2, 3)))
+        assert v.ndim == 2
+        assert v.size == 6
+        assert len(v) == 2
+
+    def test_repr_mentions_grad_state(self):
+        v = var(1.0)
+        assert "unset" in repr(v)
+
+
+class TestBackward:
+    def test_simple_chain(self):
+        x = var(3.0)
+        y = x * x
+        y.backward()
+        assert np.isclose(x.grad, 6.0)
+
+    def test_fan_out_accumulates(self):
+        x = var(2.0)
+        y = x * x + x * 3.0
+        y.backward()
+        assert np.isclose(x.grad, 2 * 2.0 + 3.0)
+
+    def test_grad_reset_between_backward_calls(self):
+        x = var(2.0)
+        y = x * x
+        y.backward()
+        first = x.grad.copy()
+        y2 = x * x
+        y2.backward()
+        assert np.allclose(x.grad, first)
+
+    def test_constant_gets_no_grad(self):
+        c = constant(np.ones(3))
+        x = var(np.ones(3))
+        out = ops.sum(x * c)
+        out.backward()
+        assert c.grad is None
+        assert np.allclose(x.grad, 1.0)
+
+    def test_custom_seed(self):
+        x = var(np.array([1.0, 2.0]))
+        y = x * 2.0
+        y.backward(seed=np.array([10.0, 100.0]))
+        assert np.allclose(x.grad, [20.0, 200.0])
+
+    def test_diamond_graph(self):
+        # f = (x*2) * (x*3) = 6x^2, f' = 12x
+        x = var(5.0)
+        a = x * 2.0
+        b = x * 3.0
+        y = a * b
+        y.backward()
+        assert np.isclose(x.grad, 12 * 5.0)
+
+    def test_deep_chain_does_not_recurse(self):
+        x = var(1.0)
+        y = x
+        for _ in range(2000):
+            y = y + 0.001
+        y.backward()
+        assert np.isclose(x.grad, 1.0)
+
+
+class TestUnbroadcast:
+    def test_same_shape_passthrough(self):
+        g = np.ones((2, 3))
+        assert _unbroadcast(g, (2, 3)).shape == (2, 3)
+
+    def test_sum_over_leading_axis(self):
+        g = np.ones((4, 3))
+        out = _unbroadcast(g, (3,))
+        assert out.shape == (3,)
+        assert np.allclose(out, 4.0)
+
+    def test_sum_over_size_one_axis(self):
+        g = np.ones((4, 3))
+        out = _unbroadcast(g, (4, 1))
+        assert out.shape == (4, 1)
+        assert np.allclose(out, 3.0)
+
+    def test_scalar_target(self):
+        g = np.ones((2, 2))
+        out = _unbroadcast(g, ())
+        assert out.shape == ()
+        assert np.isclose(out, 4.0)
+
+
+class TestValueAndGrad:
+    def test_returns_value_and_gradient(self):
+        v, g = value_and_grad(lambda x: ops.dot(x, x), np.array([1.0, 2.0]))
+        assert np.isclose(v, 5.0)
+        assert np.allclose(g, [2.0, 4.0])
+
+    def test_rejects_non_scalar_output(self):
+        with pytest.raises(ValueError, match="scalar"):
+            value_and_grad(lambda x: x * 2.0, np.array([1.0, 2.0]))
+
+    def test_zero_grad_when_disconnected(self):
+        v, g = value_and_grad(
+            lambda x: ops.sum(constant(np.ones(2))), np.array([1.0, 2.0])
+        )
+        assert np.allclose(g, 0.0)
+
+    def test_broadcast_scalar_against_vector(self):
+        def f(x):
+            return ops.sum(x[0] * constant(np.ones(4)) + x[1])
+
+        _, g = value_and_grad(f, np.array([2.0, 3.0]))
+        assert np.allclose(g, [4.0, 4.0])

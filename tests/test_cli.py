@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nope"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "votes"])
+        assert args.engine == "nuts"
+        assert args.chains == 4
+
+    def test_subsample_platform_choices(self):
+        args = build_parser().parse_args(
+            ["subsample", "tickets", "--platform", "broadwell"]
+        )
+        assert args.platform == "broadwell"
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "12cities" in out
+        assert "survival" in out
+
+    def test_platforms(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        assert "i7-6700K" in out
+        assert "E5-2697A v4" in out
+
+    def test_census(self, capsys):
+        assert main(["census"]) == 0
+        out = capsys.readouterr().out
+        assert "gaussian" in out
+        assert "erf" in out
+
+    def test_run_small(self, capsys):
+        code = main([
+            "run", "disease", "--iterations", "60", "--chains", "2",
+            "--scale", "0.25", "--engine", "mh",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "R-hat" in out
+        assert "rhat" in out  # summary header
+
+    def test_elide_small(self, capsys):
+        code = main([
+            "elide", "butterfly", "--iterations", "120", "--scale", "0.25",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "butterfly" in out

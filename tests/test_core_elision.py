@@ -1,0 +1,148 @@
+"""Tests for runtime convergence detection (Section VI-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.elision import ConvergenceDetector, ElisionReport, OnlineRhat
+from repro.inference.results import ChainResult, SamplingResult
+
+
+def synthetic_result(
+    n_chains=4,
+    n_kept=400,
+    n_warmup=100,
+    converge_after=120,
+    dim=2,
+    seed=0,
+    work_scale=30.0,
+):
+    """Chains that start dispersed and merge after ``converge_after`` kept
+    iterations — a controllable stand-in for a real sampler run."""
+    rng = np.random.default_rng(seed)
+    total = n_warmup + n_kept
+    chains = []
+    for c in range(n_chains):
+        offsets = np.zeros((total, dim))
+        # Offset decays linearly to zero at (warmup + converge_after).
+        merge_point = n_warmup + converge_after
+        decay = np.clip(1.0 - np.arange(total) / max(merge_point, 1), 0.0, 1.0)
+        offsets += decay[:, None] * (c + 1) * 3.0
+        samples = rng.normal(size=(total, dim)) + offsets
+        work = np.full(total, work_scale) + rng.integers(0, 10, size=total)
+        chains.append(
+            ChainResult(
+                samples=samples,
+                logps=np.zeros(total),
+                work_per_iteration=work.astype(float),
+                n_warmup=n_warmup,
+                accept_rate=0.9,
+            )
+        )
+    return SamplingResult(model_name="synthetic", chains=chains)
+
+
+class TestOnlineRhat:
+    def test_requires_two_chains(self):
+        with pytest.raises(ValueError, match="2 chains"):
+            OnlineRhat(1, 2)
+
+    def test_infinite_before_enough_draws(self):
+        online = OnlineRhat(2, 1)
+        online.update(0, np.array([1.0]))
+        online.update(1, np.array([1.0]))
+        assert online.rhat() == float("inf")
+
+    def test_detects_convergence_of_identical_distributions(self):
+        rng = np.random.default_rng(1)
+        online = OnlineRhat(4, 2)
+        for _ in range(300):
+            for c in range(4):
+                online.update(c, rng.normal(size=2))
+        assert online.rhat() < 1.1
+        assert online.converged()
+
+    def test_detects_divergence_of_shifted_chains(self):
+        rng = np.random.default_rng(2)
+        online = OnlineRhat(2, 1)
+        for _ in range(200):
+            online.update(0, rng.normal(size=1))
+            online.update(1, rng.normal(size=1) + 5.0)
+        assert online.rhat() > 1.5
+        assert not online.converged()
+
+    def test_n_draws_is_minimum_across_chains(self):
+        online = OnlineRhat(2, 1)
+        online.update(0, np.zeros(1))
+        online.update(0, np.zeros(1))
+        online.update(1, np.zeros(1))
+        assert online.n_draws == 1
+
+
+class TestConvergenceDetector:
+    def test_detects_after_merge_point(self):
+        result = synthetic_result(converge_after=120)
+        report = ConvergenceDetector(check_interval=20).detect(result)
+        assert report.converged
+        # Detection cannot precede the merge; should happen not too long after.
+        assert 120 <= report.converged_iteration <= 280
+
+    def test_never_converges_when_chains_disagree(self):
+        result = synthetic_result(converge_after=10 ** 9)  # never merges
+        report = ConvergenceDetector().detect(result)
+        assert not report.converged
+        assert report.iterations_saved_fraction == 0.0
+
+    def test_iterations_saved_fraction(self):
+        result = synthetic_result(n_kept=400, converge_after=100)
+        report = ConvergenceDetector().detect(result)
+        assert report.converged
+        assert report.iterations_saved_fraction == pytest.approx(
+            1.0 - report.converged_iteration / 400, abs=1e-12
+        )
+        assert report.iterations_saved_fraction > 0.3
+
+    def test_rhat_trace_monotone_tail(self):
+        result = synthetic_result()
+        report = ConvergenceDetector().detect(result)
+        assert len(report.rhat_trace) == len(report.checkpoints)
+        # After convergence the trace stays below threshold + slack.
+        converged_idx = report.checkpoints.index(report.converged_iteration)
+        assert all(r < 1.3 for r in report.rhat_trace[converged_idx:])
+
+    def test_kl_trace_decreases_with_iterations(self):
+        result = synthetic_result(n_kept=600, converge_after=100, seed=4)
+        truth = np.random.default_rng(9).normal(size=(4000, 2))
+        report = ConvergenceDetector(check_interval=50).detect(
+            result, ground_truth=truth
+        )
+        assert len(report.kl_trace) == len(report.checkpoints)
+        assert report.kl_trace[-1] < report.kl_trace[0]
+
+    def test_work_saved_fraction_accounts_for_warmup(self):
+        result = synthetic_result(n_kept=400, n_warmup=100, converge_after=100)
+        report = ConvergenceDetector().detect(result)
+        work_saved = report.work_saved_fraction(result)
+        # Work savings are diluted by warmup work, as the paper notes.
+        assert 0.0 < work_saved < report.iterations_saved_fraction + 0.05
+
+    def test_check_interval_validation(self):
+        with pytest.raises(ValueError, match="check_interval"):
+            ConvergenceDetector(check_interval=0)
+
+    def test_min_iterations_respected(self):
+        result = synthetic_result(converge_after=1)  # converges immediately
+        detector = ConvergenceDetector(min_iterations=100, check_interval=20)
+        report = detector.detect(result)
+        assert report.converged_iteration >= 100
+
+    def test_unconverged_work_saved_zero(self):
+        result = synthetic_result(converge_after=10 ** 9)
+        report = ConvergenceDetector().detect(result)
+        assert report.work_saved_fraction(result) == 0.0
+
+
+class TestElisionReportEdgeCases:
+    def test_report_unconverged_defaults(self):
+        report = ElisionReport("x", budget_iterations=100, converged_iteration=None)
+        assert not report.converged
+        assert report.iterations_saved_fraction == 0.0

@@ -1,0 +1,121 @@
+"""Tests for the Section V-A LLC miss predictor."""
+
+import numpy as np
+import pytest
+
+from repro.arch.machine import MachineModel
+from repro.arch.platforms import SKYLAKE
+from repro.core.predictor import (
+    LLC_BOUND_MPKI,
+    LlcMissPredictor,
+    PredictionPoint,
+    characterization_points,
+)
+from tests.test_arch_machine import make_profile
+
+
+def separable_points():
+    return [
+        PredictionPoint("a", 1_000, 0.05),
+        PredictionPoint("b", 5_000, 0.2),
+        PredictionPoint("c", 20_000, 0.4),
+        PredictionPoint("d", 100_000, 2.0),
+        PredictionPoint("e", 250_000, 8.0),
+        PredictionPoint("f", 460_000, 20.0),
+    ]
+
+
+class TestFitting:
+    def test_threshold_between_classes(self):
+        predictor = LlcMissPredictor().fit(separable_points())
+        assert 20_000 < predictor.threshold_bytes < 100_000
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError, match="two points"):
+            LlcMissPredictor().fit([PredictionPoint("x", 1, 1.0)])
+
+    def test_all_bound(self):
+        predictor = LlcMissPredictor().fit([
+            PredictionPoint("a", 100_000, 3.0),
+            PredictionPoint("b", 200_000, 6.0),
+        ])
+        assert predictor.predict_llc_bound(100_000)
+
+    def test_all_benign(self):
+        predictor = LlcMissPredictor().fit([
+            PredictionPoint("a", 1_000, 0.1),
+            PredictionPoint("b", 2_000, 0.2),
+        ])
+        assert not predictor.predict_llc_bound(2_000)
+        assert predictor.predict_llc_bound(100_000)
+
+    def test_overlapping_classes_best_split(self):
+        points = [
+            PredictionPoint("a", 1_000, 0.1),
+            PredictionPoint("b", 50_000, 2.0),   # bound
+            PredictionPoint("c", 30_000, 0.5),   # benign, below b
+            PredictionPoint("d", 40_000, 1.5),   # bound, overlaps c
+            PredictionPoint("e", 100_000, 5.0),
+        ]
+        predictor = LlcMissPredictor().fit(points)
+        # The best single split classifies at least 4 of 5 correctly.
+        correct = sum(
+            predictor.predict_llc_bound(p.modeled_data_bytes) == p.llc_bound
+            for p in points
+        )
+        assert correct >= 4
+
+
+class TestPrediction:
+    @pytest.fixture
+    def predictor(self):
+        return LlcMissPredictor().fit(separable_points())
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            LlcMissPredictor().predict_llc_bound(1000)
+
+    def test_classification(self, predictor):
+        assert predictor.predict_llc_bound(460_000)
+        assert not predictor.predict_llc_bound(5_000)
+
+    def test_mpki_linear_in_bound_region(self, predictor):
+        # Points d, e, f are close to a line; prediction should track it.
+        assert predictor.predict_mpki(460_000) == pytest.approx(20.0, rel=0.3)
+        assert predictor.predict_mpki(100_000) < predictor.predict_mpki(250_000)
+
+    def test_mpki_below_threshold_sub_one(self, predictor):
+        assert predictor.predict_mpki(1_000) < LLC_BOUND_MPKI
+
+    def test_r_squared_high_for_linear_data(self, predictor):
+        assert predictor.r_squared(separable_points()) > 0.9
+
+
+class TestCharacterizationIntegration:
+    def test_points_from_machine_model(self):
+        profiles = [
+            make_profile("tiny", data_bytes=2_000, intermediate_kb=10),
+            make_profile("huge", data_bytes=460_000, intermediate_kb=1100,
+                         gather_kb=220),
+        ]
+        machine = MachineModel(SKYLAKE)
+        points = characterization_points(profiles, machine)
+        assert len(points) == 2
+        assert points[0].llc_mpki < 1.0
+        assert points[1].llc_mpki > 1.0
+
+    def test_end_to_end_fit_predicts_new_size(self):
+        profiles = [
+            make_profile("a", data_bytes=2_000, intermediate_kb=10),
+            make_profile("b", data_bytes=50_000, intermediate_kb=150),
+            make_profile("c", data_bytes=250_000, intermediate_kb=600),
+            make_profile("d", data_bytes=460_000, intermediate_kb=1100,
+                         gather_kb=220),
+        ]
+        machine = MachineModel(SKYLAKE)
+        predictor = LlcMissPredictor().fit(
+            characterization_points(profiles, machine)
+        )
+        # A new job twice the size of the largest must classify as bound.
+        assert predictor.predict_llc_bound(900_000)
+        assert not predictor.predict_llc_bound(1_000)

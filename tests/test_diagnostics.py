@@ -1,0 +1,206 @@
+"""Tests for R-hat, ESS, KL divergence, and posterior summaries."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.diagnostics import (
+    effective_sample_size,
+    format_summary,
+    gaussian_kl,
+    gelman_rubin,
+    histogram_kl,
+    kl_divergence,
+    max_rhat,
+    min_ess,
+    split_rhat,
+    summarize,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestGelmanRubin:
+    def test_converged_chains_near_one(self, rng):
+        draws = rng.normal(size=(4, 500))
+        assert abs(gelman_rubin(draws) - 1.0) < 0.05
+
+    def test_shifted_chain_detected(self, rng):
+        draws = rng.normal(size=(4, 500))
+        draws[0] += 5.0
+        assert gelman_rubin(draws) > 1.5
+
+    def test_requires_two_chains(self):
+        with pytest.raises(ValueError, match="2 chains"):
+            gelman_rubin(np.zeros((1, 100)))
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError, match="n_chains"):
+            gelman_rubin(np.zeros(100))
+
+    def test_single_draw_is_inf(self):
+        assert gelman_rubin(np.zeros((4, 1))) == float("inf")
+
+    def test_identical_constant_chains_converged(self):
+        assert gelman_rubin(np.full((4, 100), 3.0)) == 1.0
+
+    def test_distinct_constant_chains_diverged(self):
+        draws = np.zeros((2, 100))
+        draws[1] = 1.0
+        assert gelman_rubin(draws) == float("inf")
+
+    def test_more_draws_tightens_rhat(self, rng):
+        small = gelman_rubin(rng.normal(size=(4, 20)))
+        large = gelman_rubin(rng.normal(size=(4, 2000)))
+        assert abs(large - 1.0) < abs(small - 1.0) + 0.05
+
+
+class TestSplitRhat:
+    def test_detects_within_chain_drift(self, rng):
+        # Each chain trends upward: classic R-hat can miss it, split cannot.
+        trend = np.linspace(0, 5, 400)
+        draws = rng.normal(size=(4, 400)) * 0.1 + trend
+        assert split_rhat(draws) > 1.5
+
+    def test_stationary_chains_near_one(self, rng):
+        draws = rng.normal(size=(4, 400))
+        assert abs(split_rhat(draws) - 1.0) < 0.05
+
+    def test_too_short_is_inf(self):
+        assert split_rhat(np.zeros((4, 3))) == float("inf")
+
+
+class TestMaxRhat:
+    def test_takes_worst_parameter(self, rng):
+        draws = rng.normal(size=(4, 300, 3))
+        draws[0, :, 2] += 10.0
+        assert max_rhat(draws) > 1.5
+
+    def test_requires_3d(self):
+        with pytest.raises(ValueError, match="dim"):
+            max_rhat(np.zeros((4, 100)))
+
+    def test_split_variant(self, rng):
+        draws = rng.normal(size=(4, 300, 2))
+        assert abs(max_rhat(draws, split=True) - 1.0) < 0.1
+
+
+class TestEffectiveSampleSize:
+    def test_iid_close_to_total(self, rng):
+        draws = rng.normal(size=(4, 1000))
+        ess = effective_sample_size(draws)
+        assert 0.5 * 4000 < ess <= 4000
+
+    def test_correlated_much_smaller(self, rng):
+        # AR(1) with phi = 0.95 has tau ~ (1+phi)/(1-phi) = 39.
+        n = 2000
+        draws = np.zeros((2, n))
+        for c in range(2):
+            eps = rng.normal(size=n)
+            for t in range(1, n):
+                draws[c, t] = 0.95 * draws[c, t - 1] + eps[t]
+        ess = effective_sample_size(draws)
+        assert ess < 0.15 * 2 * n
+
+    def test_accepts_1d(self, rng):
+        assert effective_sample_size(rng.normal(size=500)) > 100
+
+    def test_tiny_input(self):
+        assert effective_sample_size(np.zeros((2, 3))) == 6.0
+
+    def test_min_ess_requires_3d(self):
+        with pytest.raises(ValueError, match="dim"):
+            min_ess(np.zeros((2, 10)))
+
+    def test_min_ess_picks_worst(self, rng):
+        n = 1000
+        good = rng.normal(size=(2, n))
+        bad = np.zeros((2, n))
+        for c in range(2):
+            eps = rng.normal(size=n)
+            for t in range(1, n):
+                bad[c, t] = 0.97 * bad[c, t - 1] + eps[t]
+        draws = np.stack([good, bad], axis=2)
+        assert np.isclose(
+            min_ess(draws),
+            min(effective_sample_size(good), effective_sample_size(bad)),
+        )
+
+
+class TestGaussianKL:
+    def test_identical_distributions_near_zero(self, rng):
+        p = rng.normal(size=(4000, 2))
+        q = rng.normal(size=(4000, 2))
+        assert gaussian_kl(p, q) < 0.01
+
+    def test_matches_closed_form_for_shifted_gaussians(self, rng):
+        # KL(N(mu,1) || N(0,1)) = mu^2/2
+        mu = 1.5
+        p = rng.normal(mu, 1.0, size=(20000, 1))
+        q = rng.normal(0.0, 1.0, size=(20000, 1))
+        assert abs(gaussian_kl(p, q) - mu ** 2 / 2) < 0.1
+
+    def test_asymmetry(self, rng):
+        p = rng.normal(0, 1.0, size=(5000, 1))
+        q = rng.normal(0, 3.0, size=(5000, 1))
+        assert gaussian_kl(p, q) != pytest.approx(gaussian_kl(q, p), rel=0.01)
+
+    def test_needs_enough_samples(self):
+        with pytest.raises(ValueError, match="more samples"):
+            gaussian_kl(np.zeros((3, 5)), np.zeros((3, 5)))
+
+    def test_nonnegative(self, rng):
+        for _ in range(5):
+            p = rng.normal(size=(200, 3))
+            q = rng.normal(size=(200, 3)) * rng.uniform(0.5, 2.0)
+            assert gaussian_kl(p, q) >= 0.0
+
+
+class TestHistogramKL:
+    def test_identical_near_zero(self, rng):
+        p = rng.normal(size=(5000, 1))
+        q = rng.normal(size=(5000, 1))
+        assert histogram_kl(p, q) < 0.05
+
+    def test_shifted_larger(self, rng):
+        base = rng.normal(size=(5000, 1))
+        near = rng.normal(0.1, 1.0, size=(5000, 1))
+        far = rng.normal(2.0, 1.0, size=(5000, 1))
+        assert histogram_kl(far, base) > histogram_kl(near, base)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="dimension"):
+            histogram_kl(np.zeros((10, 2)), np.zeros((10, 3)))
+
+    def test_dispatch(self, rng):
+        p = rng.normal(size=(1000, 1))
+        q = rng.normal(size=(1000, 1))
+        assert kl_divergence(p, q, "gaussian") == gaussian_kl(p, q)
+        with pytest.raises(ValueError, match="unknown KL method"):
+            kl_divergence(p, q, "nope")
+
+
+class TestSummary:
+    def test_values(self, rng):
+        draws = rng.normal(2.0, 0.5, size=(4, 500, 1))
+        (summary,) = summarize(draws, names=["mu"])
+        assert abs(summary.mean - 2.0) < 0.1
+        assert abs(summary.sd - 0.5) < 0.1
+        assert summary.q05 < summary.q50 < summary.q95
+        assert summary.rhat < 1.05
+
+    def test_default_names(self, rng):
+        rows = summarize(rng.normal(size=(2, 100, 3)))
+        assert [r.name for r in rows] == ["theta[0]", "theta[1]", "theta[2]"]
+
+    def test_name_count_validation(self, rng):
+        with pytest.raises(ValueError, match="names"):
+            summarize(rng.normal(size=(2, 100, 3)), names=["a"])
+
+    def test_format_contains_header_and_rows(self, rng):
+        text = format_summary(rng.normal(size=(2, 100, 2)), names=["a", "b"])
+        assert "rhat" in text.splitlines()[0]
+        assert len(text.splitlines()) == 3

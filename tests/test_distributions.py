@@ -1,0 +1,292 @@
+"""Distribution log densities: value checks against scipy + gradient checks."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.autodiff import check_grad, ops, value_and_grad, var
+from repro.models import distributions as dist
+
+
+def eval_scalar(fn):
+    out = fn()
+    return float(out.value)
+
+
+class TestValuesAgainstScipy:
+    def test_normal(self):
+        x = np.array([0.5, -1.0, 2.0])
+        got = eval_scalar(lambda: dist.normal_lpdf(x, 0.3, 1.7))
+        assert np.isclose(got, stats.norm.logpdf(x, 0.3, 1.7).sum())
+
+    def test_normal_vector_sigma(self):
+        x = np.array([0.5, -1.0])
+        sigma = np.array([1.0, 2.0])
+        got = eval_scalar(lambda: dist.normal_lpdf(x, 0.0, sigma))
+        assert np.isclose(got, stats.norm.logpdf(x, 0.0, sigma).sum())
+
+    def test_lognormal(self):
+        x = np.array([0.5, 1.5, 3.0])
+        got = eval_scalar(lambda: dist.lognormal_lpdf(x, 0.2, 0.8))
+        assert np.isclose(got, stats.lognorm.logpdf(x, s=0.8, scale=np.exp(0.2)).sum())
+
+    def test_cauchy(self):
+        x = np.array([-2.0, 0.0, 5.0])
+        got = eval_scalar(lambda: dist.cauchy_lpdf(x, 1.0, 2.5))
+        assert np.isclose(got, stats.cauchy.logpdf(x, 1.0, 2.5).sum())
+
+    def test_half_cauchy(self):
+        x = np.array([0.5, 2.0])
+        got = eval_scalar(lambda: dist.half_cauchy_lpdf(x, 1.5))
+        assert np.isclose(got, stats.halfcauchy.logpdf(x, scale=1.5).sum())
+
+    def test_half_normal(self):
+        x = np.array([0.5, 2.0])
+        got = eval_scalar(lambda: dist.half_normal_lpdf(x, 1.5))
+        assert np.isclose(got, stats.halfnorm.logpdf(x, scale=1.5).sum())
+
+    def test_student_t(self):
+        x = np.array([-1.0, 0.5])
+        got = eval_scalar(lambda: dist.student_t_lpdf(x, 4.0, 0.3, 1.2))
+        assert np.isclose(got, stats.t.logpdf(x, df=4.0, loc=0.3, scale=1.2).sum())
+
+    def test_exponential(self):
+        x = np.array([0.5, 2.0])
+        got = eval_scalar(lambda: dist.exponential_lpdf(x, 1.5))
+        assert np.isclose(got, stats.expon.logpdf(x, scale=1 / 1.5).sum())
+
+    def test_gamma(self):
+        x = np.array([0.5, 2.0])
+        got = eval_scalar(lambda: dist.gamma_lpdf(x, 2.0, 3.0))
+        assert np.isclose(got, stats.gamma.logpdf(x, a=2.0, scale=1 / 3.0).sum())
+
+    def test_inv_gamma(self):
+        x = np.array([0.5, 2.0])
+        got = eval_scalar(lambda: dist.inv_gamma_lpdf(x, 3.0, 2.0))
+        assert np.isclose(got, stats.invgamma.logpdf(x, a=3.0, scale=2.0).sum())
+
+    def test_beta(self):
+        x = np.array([0.2, 0.7])
+        got = eval_scalar(lambda: dist.beta_lpdf(x, 2.0, 5.0))
+        assert np.isclose(got, stats.beta.logpdf(x, 2.0, 5.0).sum())
+
+    def test_uniform(self):
+        x = np.array([1.0, 2.0, 3.0])
+        got = eval_scalar(lambda: dist.uniform_lpdf(x, 0.0, 4.0))
+        assert np.isclose(got, 3 * np.log(1 / 4.0))
+
+    def test_dirichlet(self):
+        x = np.array([0.2, 0.3, 0.5])
+        alpha = np.array([1.0, 2.0, 3.0])
+        got = eval_scalar(lambda: dist.dirichlet_lpdf(x, alpha))
+        assert np.isclose(got, stats.dirichlet.logpdf(x, alpha))
+
+    def test_poisson(self):
+        k = np.array([0, 3, 7])
+        got = eval_scalar(lambda: dist.poisson_lpmf(k, 2.5))
+        assert np.isclose(got, stats.poisson.logpmf(k, 2.5).sum())
+
+    def test_poisson_log(self):
+        k = np.array([0, 3, 7])
+        got = eval_scalar(lambda: dist.poisson_log_lpmf(k, np.log(2.5)))
+        assert np.isclose(got, stats.poisson.logpmf(k, 2.5).sum())
+
+    def test_bernoulli_logit(self):
+        y = np.array([0, 1, 1, 0])
+        eta = np.array([-1.0, 0.5, 2.0, 0.0])
+        got = eval_scalar(lambda: dist.bernoulli_logit_lpmf(y, eta))
+        p = 1 / (1 + np.exp(-eta))
+        assert np.isclose(got, stats.bernoulli.logpmf(y, p).sum())
+
+    def test_binomial_logit(self):
+        y = np.array([3, 7])
+        n = np.array([10, 12])
+        eta = np.array([-0.3, 0.8])
+        got = eval_scalar(lambda: dist.binomial_logit_lpmf(y, n, eta))
+        p = 1 / (1 + np.exp(-eta))
+        assert np.isclose(got, stats.binom.logpmf(y, n, p).sum())
+
+    def test_neg_binomial_2(self):
+        y = np.array([0, 4, 11])
+        mu, phi = 3.0, 2.0
+        got = eval_scalar(lambda: dist.neg_binomial_2_lpmf(y, mu, phi))
+        # scipy parameterization: n=phi, p=phi/(mu+phi)
+        assert np.isclose(got, stats.nbinom.logpmf(y, phi, phi / (mu + phi)).sum())
+
+    def test_categorical_logit(self):
+        y = np.array([0, 2, 1])
+        logits = np.array([[1.0, 0.0, -1.0], [0.2, 0.3, 0.5], [0.0, 2.0, 0.0]])
+        got = eval_scalar(lambda: dist.categorical_logit_lpmf(y, logits))
+        p = np.exp(logits) / np.exp(logits).sum(axis=1, keepdims=True)
+        expected = np.log(p[np.arange(3), y]).sum()
+        assert np.isclose(got, expected)
+
+    def test_multi_normal_chol(self):
+        cov = np.array([[2.0, 0.3], [0.3, 1.0]])
+        chol = np.linalg.cholesky(cov)
+        x = np.array([0.5, -0.7])
+        mu = np.array([0.1, 0.2])
+        got = eval_scalar(lambda: dist.multi_normal_chol_lpdf(x, mu, chol))
+        assert np.isclose(got, stats.multivariate_normal.logpdf(x, mu, cov))
+
+    def test_multi_normal_prec_quad(self):
+        cov = np.array([[2.0, 0.3], [0.3, 1.0]])
+        x = np.array([0.5, -0.7])
+        got = eval_scalar(lambda: dist.multi_normal_prec_quad_lpdf(x, cov))
+        assert np.isclose(got, stats.multivariate_normal.logpdf(x, np.zeros(2), cov))
+
+
+class TestGradients:
+    """Every lpdf must be exactly differentiable w.r.t. its parameters."""
+
+    def test_normal_wrt_mu_sigma(self):
+        x = np.array([0.5, -1.0, 2.0])
+
+        def f(v):
+            return dist.normal_lpdf(x, v[0], ops.exp(v[1]))
+
+        assert check_grad(f, np.array([0.3, 0.2]))
+
+    def test_normal_wrt_x(self):
+        def f(v):
+            return dist.normal_lpdf(v, 0.0, 1.5)
+
+        assert check_grad(f, np.array([0.5, -1.0]))
+
+    def test_lognormal(self):
+        x = np.array([0.5, 1.5])
+
+        def f(v):
+            return dist.lognormal_lpdf(x, v[0], ops.exp(v[1]))
+
+        assert check_grad(f, np.array([0.1, -0.2]))
+
+    def test_cauchy(self):
+        x = np.array([-2.0, 0.0, 5.0])
+
+        def f(v):
+            return dist.cauchy_lpdf(x, v[0], ops.exp(v[1]))
+
+        assert check_grad(f, np.array([0.5, 0.3]))
+
+    def test_student_t(self):
+        x = np.array([-1.0, 0.5])
+
+        def f(v):
+            return dist.student_t_lpdf(x, 4.0, v[0], ops.exp(v[1]))
+
+        assert check_grad(f, np.array([0.2, 0.1]))
+
+    def test_gamma_wrt_x_and_params(self):
+        def f(v):
+            x = ops.exp(v[:2])
+            return dist.gamma_lpdf(x, ops.exp(v[2]), ops.exp(v[3]))
+
+        assert check_grad(f, np.array([0.1, 0.5, 0.3, -0.2]))
+
+    def test_beta_wrt_params(self):
+        x = np.array([0.2, 0.7])
+
+        def f(v):
+            return dist.beta_lpdf(x, ops.exp(v[0]), ops.exp(v[1]))
+
+        assert check_grad(f, np.array([0.5, 1.0]))
+
+    def test_exponential(self):
+        x = np.array([0.5, 2.0])
+
+        def f(v):
+            return dist.exponential_lpdf(x, ops.exp(v[0]))
+
+        assert check_grad(f, np.array([0.3]))
+
+    def test_poisson_log(self):
+        k = np.array([0, 3, 7])
+
+        def f(v):
+            return dist.poisson_log_lpmf(k, v)
+
+        assert check_grad(f, np.array([0.1, 0.9, 1.8]))
+
+    def test_bernoulli_logit(self):
+        y = np.array([0, 1, 1])
+
+        def f(v):
+            return dist.bernoulli_logit_lpmf(y, v)
+
+        assert check_grad(f, np.array([-0.5, 0.5, 1.5]))
+
+    def test_binomial_logit(self):
+        y, n = np.array([3, 7]), np.array([10, 12])
+
+        def f(v):
+            return dist.binomial_logit_lpmf(y, n, v)
+
+        assert check_grad(f, np.array([-0.3, 0.8]))
+
+    def test_neg_binomial_2(self):
+        y = np.array([0, 4, 11])
+
+        def f(v):
+            return dist.neg_binomial_2_lpmf(y, ops.exp(v[0]), ops.exp(v[1]))
+
+        assert check_grad(f, np.array([1.0, 0.5]))
+
+    def test_categorical_logit(self):
+        y = np.array([0, 2, 1])
+
+        def f(v):
+            return dist.categorical_logit_lpmf(y, ops.reshape(v, (3, 3)))
+
+        assert check_grad(f, np.linspace(-1, 1, 9))
+
+    def test_multi_normal_prec_quad(self):
+        x = np.array([0.5, -0.7, 0.2])
+
+        def f(v):
+            cov = ops.outer(v, v) * 0.1 + ops.constant(np.eye(3) * 1.5)
+            return dist.multi_normal_prec_quad_lpdf(x, cov)
+
+        assert check_grad(f, np.array([0.4, -0.2, 0.9]))
+
+    def test_dirichlet_wrt_alpha(self):
+        x = np.array([0.2, 0.3, 0.5])
+
+        def f(v):
+            return dist.dirichlet_lpdf(x, ops.exp(v))
+
+        assert check_grad(f, np.array([0.1, 0.4, 0.7]))
+
+
+class TestNumpyVersions:
+    @pytest.mark.parametrize(
+        "np_fn,scipy_val",
+        [
+            (lambda: dist.normal_logpdf_np([0.5], 0.0, 1.0),
+             stats.norm.logpdf(0.5)),
+            (lambda: dist.cauchy_logpdf_np([0.5], 0.0, 1.0),
+             stats.cauchy.logpdf(0.5)),
+            (lambda: dist.poisson_logpmf_np([3], 2.0),
+             stats.poisson.logpmf(3, 2.0)),
+            (lambda: dist.binomial_logpmf_np([3], 10, 0.4),
+             stats.binom.logpmf(3, 10, 0.4)),
+            (lambda: dist.gamma_logpdf_np([1.5], 2.0, 1.0),
+             stats.gamma.logpdf(1.5, a=2.0)),
+            (lambda: dist.beta_logpdf_np([0.3], 2.0, 2.0),
+             stats.beta.logpdf(0.3, 2.0, 2.0)),
+            (lambda: dist.student_t_logpdf_np([0.3], 5.0, 0.0, 1.0),
+             stats.t.logpdf(0.3, 5.0)),
+            (lambda: dist.lognormal_logpdf_np([1.3], 0.0, 1.0),
+             stats.lognorm.logpdf(1.3, s=1.0)),
+        ],
+    )
+    def test_matches_scipy(self, np_fn, scipy_val):
+        assert np.isclose(np_fn(), float(scipy_val))
+
+    def test_bernoulli_logit_np(self):
+        y, eta = np.array([1, 0]), np.array([0.7, -0.2])
+        p = 1 / (1 + np.exp(-eta))
+        assert np.isclose(
+            dist.bernoulli_logit_logpmf_np(y, eta),
+            stats.bernoulli.logpmf(y, p).sum(),
+        )

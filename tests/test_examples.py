@@ -1,0 +1,44 @@
+"""Smoke tests for the example scripts."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart", "characterize_and_schedule", "elide_sampling",
+     "design_space_exploration"],
+)
+def test_examples_importable_with_main(name):
+    module = load_example(name)
+    assert callable(module.main)
+
+
+def test_quickstart_runs_end_to_end(capsys):
+    module = load_example("quickstart")
+    module.main()
+    out = capsys.readouterr().out
+    assert "posterior summary" in out
+    assert "R-hat" in out
+
+
+def test_quickstart_model_is_well_formed():
+    module = load_example("quickstart")
+    model = module.EightSchools()
+    assert model.dim == 10
+    import numpy as np
+    x = model.initial_position(np.random.default_rng(0))
+    assert np.isfinite(model.logp(x))

@@ -1,0 +1,142 @@
+"""Tests for the BayesianModel base class using a small conjugate model."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import ops
+from repro.autodiff.functional import finite_difference_grad
+from repro.models import BayesianModel, ParameterSpec
+from repro.models import distributions as dist
+from repro.models.transforms import Positive, Simplex
+
+
+class GaussianMeanScale(BayesianModel):
+    """y ~ Normal(mu, sigma); mu ~ Normal(0, 5); sigma ~ HalfCauchy(2)."""
+
+    name = "toy-gaussian"
+
+    def __init__(self, y: np.ndarray) -> None:
+        super().__init__()
+        self.add_data(y=np.asarray(y, dtype=float))
+
+    @property
+    def params(self):
+        return [
+            ParameterSpec("mu", 1, init=0.0),
+            ParameterSpec("sigma", 1, transform=Positive(), init=1.0),
+        ]
+
+    def log_joint(self, p):
+        y = self.data("y")
+        return (
+            dist.normal_lpdf(y, p["mu"], p["sigma"])
+            + dist.normal_lpdf(p["mu"], 0.0, 5.0)
+            + dist.half_cauchy_lpdf(p["sigma"], 2.0)
+        )
+
+
+class WithSimplex(BayesianModel):
+    name = "toy-simplex"
+
+    def __init__(self):
+        super().__init__()
+        self.add_data(counts=np.array([5, 3, 2]))
+
+    @property
+    def params(self):
+        return [ParameterSpec("theta", 3, transform=Simplex(3), init=[0.3, 0.3, 0.4])]
+
+    def log_joint(self, p):
+        counts = self.data("counts").astype(float)
+        return ops.sum(ops.constant(counts) * ops.log(p["theta"]))
+
+
+@pytest.fixture
+def model():
+    rng = np.random.default_rng(1)
+    return GaussianMeanScale(rng.normal(2.0, 1.5, size=40))
+
+
+class TestModelInterface:
+    def test_dim(self, model):
+        assert model.dim == 2
+
+    def test_logp_finite(self, model):
+        assert np.isfinite(model.logp(np.array([0.0, 0.0])))
+
+    def test_grad_matches_fd(self, model):
+        x = np.array([0.7, -0.3])
+        _, g = model.logp_and_grad(x)
+        num = finite_difference_grad(model.logp, x)
+        assert np.allclose(g, num, rtol=1e-4, atol=1e-6)
+
+    def test_jacobian_included(self, model):
+        # logp on unconstrained sigma includes +z from the exp transform:
+        # changing z by delta shifts logp differently than the raw joint.
+        x = np.array([0.0, 0.5])
+        constrained = model.constrain(x)
+        assert np.isclose(constrained["sigma"][0], np.exp(0.5))
+
+    def test_constrain_unconstrain_roundtrip(self, model):
+        x = np.array([0.4, -1.2])
+        values = model.constrain(x)
+        assert np.allclose(model.unconstrain(values), x)
+
+    def test_initial_position_respects_support(self, model):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            x = model.initial_position(rng)
+            assert np.isfinite(model.logp(x))
+
+    def test_initial_positions_differ(self, model):
+        rng = np.random.default_rng(0)
+        a = model.initial_position(rng)
+        b = model.initial_position(rng)
+        assert not np.allclose(a, b)
+
+    def test_modeled_data_bytes(self, model):
+        assert model.modeled_data_bytes == 40 * 8
+        assert model.modeled_data_points == 40
+
+    def test_code_footprint_positive(self, model):
+        assert model.code_footprint_bytes > 0
+
+    def test_flat_param_names(self, model):
+        assert model.flat_param_names() == ["mu", "sigma"]
+
+    def test_repr(self, model):
+        assert "toy-gaussian" in repr(model)
+
+    def test_posterior_concentration(self, model):
+        # MAP-ish check: logp at the data mean beats logp far away.
+        y = model.data("y")
+        good = model.unconstrain({"mu": [y.mean()], "sigma": [y.std()]})
+        bad = model.unconstrain({"mu": [y.mean() + 10], "sigma": [y.std()]})
+        assert model.logp(good) > model.logp(bad)
+
+
+class TestSimplexModel:
+    def test_dim_uses_unconstrained_size(self):
+        m = WithSimplex()
+        assert m.dim == 2
+
+    def test_constrain_returns_simplex(self):
+        m = WithSimplex()
+        theta = m.constrain(np.array([0.3, -0.5]))["theta"]
+        assert theta.shape == (3,)
+        assert np.isclose(theta.sum(), 1.0)
+
+    def test_grad_matches_fd(self):
+        m = WithSimplex()
+        x = np.array([0.2, 0.4])
+        _, g = m.logp_and_grad(x)
+        num = finite_difference_grad(m.logp, x)
+        assert np.allclose(g, num, rtol=1e-4, atol=1e-6)
+
+    def test_flat_names_expand(self):
+        assert WithSimplex().flat_param_names() == ["theta[0]", "theta[1]", "theta[2]"]
+
+    def test_spec_init_shape_validation(self):
+        spec = ParameterSpec("x", 3, init=[1.0, 2.0])
+        with pytest.raises(ValueError, match="init shape"):
+            spec.initial_constrained()

@@ -1,0 +1,61 @@
+"""Posterior predictive checks: the fitted models reproduce their data."""
+
+import numpy as np
+import pytest
+
+from repro.inference import NUTS, run_chains
+from repro.suite import load_workload
+from repro.suite.ppc import ppc_pvalue, supported_workloads
+
+
+CHECKED = ["12cities", "ad", "tickets", "memory", "disease", "butterfly"]
+
+
+@pytest.fixture(scope="module")
+def fits():
+    out = {}
+    for name in CHECKED:
+        model = load_workload(name, scale=0.25)
+        out[name] = (
+            model,
+            run_chains(model, NUTS(max_tree_depth=6), n_iterations=200,
+                       n_chains=2, seed=11),
+        )
+    return out
+
+
+class TestPpc:
+    def test_supported_list(self):
+        assert supported_workloads() == [
+            "12cities", "ad", "butterfly", "disease", "memory", "survival",
+            "tickets", "votes",
+        ]
+
+    def test_unsupported_raises(self, fits):
+        model, result = fits["ad"]
+        model.name = "not-a-workload"
+        try:
+            with pytest.raises(KeyError, match="replicator"):
+                ppc_pvalue(model, result)
+        finally:
+            model.name = "ad"
+
+    @pytest.mark.parametrize(
+        "name", ["12cities", "ad", "tickets", "memory", "disease", "butterfly"]
+    )
+    def test_mean_statistic_calibrated(self, fits, name):
+        model, result = fits[name]
+        p = ppc_pvalue(model, result, statistic=np.mean, n_replications=60)
+        assert 0.02 <= p <= 0.98, f"{name}: PPC p-value {p}"
+
+    @pytest.mark.parametrize("name", ["12cities", "tickets"])
+    def test_variance_statistic_not_degenerate(self, fits, name):
+        model, result = fits[name]
+        p = ppc_pvalue(model, result, statistic=np.var, n_replications=60)
+        assert 0.0 <= p <= 1.0
+
+    def test_deterministic_given_seed(self, fits):
+        model, result = fits["ad"]
+        a = ppc_pvalue(model, result, seed=3)
+        b = ppc_pvalue(model, result, seed=3)
+        assert a == b

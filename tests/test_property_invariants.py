@@ -1,0 +1,147 @@
+"""Property-based tests on cross-cutting invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autodiff import value_and_grad
+from repro.diagnostics import effective_sample_size, gaussian_kl, gelman_rubin
+from repro.models import distributions as dist
+
+chain_draws = hnp.arrays(
+    dtype=float,
+    shape=st.tuples(st.integers(2, 5), st.integers(8, 60)),
+    elements=st.floats(min_value=-10, max_value=10, allow_nan=False),
+)
+
+positive_floats = st.floats(min_value=0.1, max_value=5.0)
+finite_floats = st.floats(min_value=-5.0, max_value=5.0)
+
+
+class TestRhatProperties:
+    @given(chain_draws)
+    @settings(max_examples=30, deadline=None)
+    def test_chain_permutation_invariance(self, draws):
+        base = gelman_rubin(draws)
+        permuted = gelman_rubin(draws[::-1])
+        assert np.isclose(base, permuted, equal_nan=True) or (
+            np.isinf(base) and np.isinf(permuted)
+        )
+
+    @given(chain_draws, finite_floats, positive_floats)
+    @settings(max_examples=30, deadline=None)
+    def test_affine_invariance(self, draws, shift, scale):
+        base = gelman_rubin(draws)
+        transformed = gelman_rubin(draws * scale + shift)
+        if np.isfinite(base):
+            assert np.isclose(base, transformed, rtol=1e-6)
+
+    @given(chain_draws)
+    @settings(max_examples=30, deadline=None)
+    def test_rhat_at_least_asymptotic_floor(self, draws):
+        value = gelman_rubin(draws)
+        n = draws.shape[1]
+        # R-hat can dip slightly below 1 for finite n but never below
+        # sqrt((n-1)/n).
+        assert value >= np.sqrt((n - 1) / n) - 1e-9
+
+
+class TestEssProperties:
+    @given(chain_draws)
+    @settings(max_examples=20, deadline=None)
+    def test_bounded_by_total_draws(self, draws):
+        ess = effective_sample_size(draws)
+        assert 0 < ess <= draws.size + 1e-9
+
+    @given(chain_draws, finite_floats, positive_floats)
+    @settings(max_examples=20, deadline=None)
+    def test_affine_invariance(self, draws, shift, scale):
+        a = effective_sample_size(draws)
+        b = effective_sample_size(draws * scale + shift)
+        assert np.isclose(a, b, rtol=1e-6)
+
+
+class TestKlProperties:
+    @given(st.integers(0, 1000), positive_floats, finite_floats)
+    @settings(max_examples=15, deadline=None)
+    def test_shared_affine_invariance(self, seed, scale, shift):
+        rng = np.random.default_rng(seed)
+        p = rng.normal(size=(300, 2))
+        q = rng.normal(0.5, 1.3, size=(300, 2))
+        base = gaussian_kl(p, q)
+        transformed = gaussian_kl(p * scale + shift, q * scale + shift)
+        assert np.isclose(base, transformed, rtol=1e-6, atol=1e-9)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_self_kl_near_zero(self, seed):
+        rng = np.random.default_rng(seed)
+        p = rng.normal(size=(500, 3))
+        assert gaussian_kl(p, p.copy()) < 1e-9
+
+
+class TestLpdfDecomposition:
+    """Summed log densities must decompose over data partitions."""
+
+    @given(
+        hnp.arrays(dtype=float, shape=st.integers(2, 10),
+                   elements=st.floats(min_value=-3, max_value=3)),
+        finite_floats, positive_floats,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_normal_partition_additivity(self, x, mu, sigma):
+        k = len(x) // 2
+
+        def total(v):
+            return dist.normal_lpdf(x, v[0], sigma)
+
+        def split(v):
+            return (dist.normal_lpdf(x[:k], v[0], sigma)
+                    + dist.normal_lpdf(x[k:], v[0], sigma))
+
+        v0 = np.array([mu])
+        t, gt = value_and_grad(total, v0)
+        s, gs = value_and_grad(split, v0)
+        assert np.isclose(t, s, rtol=1e-9, atol=1e-9)
+        assert np.allclose(gt, gs, rtol=1e-9, atol=1e-9)
+
+    @given(
+        hnp.arrays(dtype=np.int64, shape=st.integers(2, 10),
+                   elements=st.integers(0, 20)),
+        finite_floats,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_poisson_partition_additivity(self, counts, log_rate):
+        k = len(counts) // 2
+
+        def total(v):
+            return dist.poisson_log_lpmf(counts, v[0])
+
+        def split(v):
+            return (dist.poisson_log_lpmf(counts[:k], v[0])
+                    + dist.poisson_log_lpmf(counts[k:], v[0]))
+
+        v0 = np.array([log_rate])
+        t, _ = value_and_grad(total, v0)
+        s, _ = value_and_grad(split, v0)
+        assert np.isclose(t, s, rtol=1e-9, atol=1e-8)
+
+    @given(
+        hnp.arrays(dtype=np.int64, shape=st.integers(2, 10),
+                   elements=st.integers(0, 1)),
+        hnp.arrays(dtype=float, shape=st.integers(2, 10),
+                   elements=st.floats(min_value=-4, max_value=4)),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_bernoulli_matches_numpy_reference(self, y, eta):
+        n = min(len(y), len(eta))
+        y, eta = y[:n], eta[:n]
+
+        def f(v):
+            return dist.bernoulli_logit_lpmf(y, v)
+
+        value, _ = value_and_grad(f, eta)
+        assert np.isclose(
+            value, dist.bernoulli_logit_logpmf_np(y, eta), rtol=1e-9
+        )

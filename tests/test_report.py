@@ -1,0 +1,37 @@
+"""Tests for the Markdown report generator (structure only — the content
+tables are exercised by a tiny-budget runner on two cheap workloads via the
+underlying pipeline tests)."""
+
+import numpy as np
+import pytest
+
+from repro.report import _platform_table, _table, _workload_table
+
+
+class TestTableRendering:
+    def test_table_shape(self):
+        text = _table(["a", "b"], [["1", "2"], ["3", "4"]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert len(lines) == 4
+
+    def test_workload_table_lists_all_ten(self):
+        text = _workload_table()
+        for name in ("12cities", "tickets", "survival"):
+            assert name in text
+        assert text.count("\n") == 11  # header + separator + 10 rows
+
+    def test_platform_table(self):
+        text = _platform_table()
+        assert "i7-6700K" in text
+        assert "40 MB" in text
+
+
+class TestCliParser:
+    def test_report_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["report"])
+        assert args.output == "report.md"
+        assert args.budget_fraction == pytest.approx(0.12)

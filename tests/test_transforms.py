@@ -1,0 +1,177 @@
+"""Transform round-trips, Jacobians, and integration with BayesianModel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autodiff import value_and_grad, var
+from repro.autodiff.functional import finite_difference_grad
+from repro.models import transforms as tr
+
+unconstrained = hnp.arrays(
+    dtype=float,
+    shape=st.integers(min_value=1, max_value=5),
+    elements=st.floats(min_value=-4.0, max_value=4.0, allow_nan=False),
+)
+
+
+def numeric_log_jacobian(transform: tr.Transform, z: np.ndarray) -> float:
+    """log|det J| via finite differences of the constrain_np map."""
+    z = np.asarray(z, dtype=float)
+    out_dim = transform.constrain_np(z).size
+    jac = np.zeros((out_dim, z.size))
+    eps = 1e-6
+    for j in range(z.size):
+        bump = np.zeros_like(z)
+        bump[j] = eps
+        jac[:, j] = (
+            transform.constrain_np(z + bump) - transform.constrain_np(z - bump)
+        ) / (2 * eps)
+    if out_dim == z.size:
+        sign, logdet = np.linalg.slogdet(jac)
+        return logdet
+    # Non-square (simplex): use the first K-1 rows, which determine the map.
+    sign, logdet = np.linalg.slogdet(jac[: z.size, :])
+    return logdet
+
+
+class TestIdentity:
+    def test_roundtrip(self):
+        t = tr.Identity()
+        z = np.array([1.0, -2.0])
+        assert np.allclose(t.unconstrain(t.constrain_np(z)), z)
+
+    def test_zero_jacobian(self):
+        _, log_jac = tr.Identity().constrain(var(np.array([1.0, 2.0])))
+        assert float(log_jac.value) == 0.0
+
+
+class TestPositive:
+    @given(unconstrained)
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, z):
+        t = tr.Positive()
+        assert np.allclose(t.unconstrain(t.constrain_np(z)), z, atol=1e-9)
+
+    def test_output_positive(self):
+        t = tr.Positive()
+        assert np.all(t.constrain_np(np.array([-30.0, 0.0, 5.0])) > 0)
+
+    def test_log_jacobian(self):
+        t = tr.Positive()
+        z = np.array([0.5, -1.0])
+        _, log_jac = t.constrain(var(z))
+        assert np.isclose(float(log_jac.value), numeric_log_jacobian(t, z), atol=1e-5)
+
+    def test_unconstrain_rejects_negative(self):
+        with pytest.raises(ValueError, match="positive"):
+            tr.Positive().unconstrain(np.array([-1.0]))
+
+
+class TestInterval:
+    def test_requires_valid_bounds(self):
+        with pytest.raises(ValueError, match="hi > lo"):
+            tr.Interval(2.0, 1.0)
+
+    @given(unconstrained)
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, z):
+        t = tr.Interval(-2.0, 5.0)
+        assert np.allclose(t.unconstrain(t.constrain_np(z)), z, atol=1e-6)
+
+    def test_output_in_bounds(self):
+        t = tr.Interval(0.0, 1.0)
+        out = t.constrain_np(np.array([-50.0, 0.0, 50.0]))
+        assert np.all(out >= 0.0) and np.all(out <= 1.0)
+
+    def test_log_jacobian(self):
+        t = tr.Interval(0.0, 10.0)
+        z = np.array([0.3, -1.2, 2.0])
+        _, log_jac = t.constrain(var(z))
+        assert np.isclose(float(log_jac.value), numeric_log_jacobian(t, z), atol=1e-4)
+
+    def test_unconstrain_rejects_out_of_bounds(self):
+        with pytest.raises(ValueError, match="inside bounds"):
+            tr.Interval(0.0, 1.0).unconstrain(np.array([1.5]))
+
+
+class TestOrdered:
+    def test_output_strictly_increasing(self):
+        t = tr.Ordered()
+        out = t.constrain_np(np.array([5.0, -3.0, 0.0, 2.0]))
+        assert np.all(np.diff(out) > 0)
+
+    @given(unconstrained)
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, z):
+        t = tr.Ordered()
+        assert np.allclose(t.unconstrain(t.constrain_np(z)), z, atol=1e-7)
+
+    def test_log_jacobian(self):
+        t = tr.Ordered()
+        z = np.array([0.5, -1.0, 0.3])
+        _, log_jac = t.constrain(var(z))
+        assert np.isclose(float(log_jac.value), numeric_log_jacobian(t, z), atol=1e-5)
+
+    def test_single_element(self):
+        t = tr.Ordered()
+        out, log_jac = t.constrain(var(np.array([2.0])))
+        assert np.isclose(out.value[0], 2.0)
+        assert float(log_jac.value) == 0.0
+
+    def test_unconstrain_rejects_decreasing(self):
+        with pytest.raises(ValueError, match="increasing"):
+            tr.Ordered().unconstrain(np.array([1.0, 0.5]))
+
+    def test_jacobian_gradient_flows(self):
+        t = tr.Ordered()
+
+        def f(z):
+            val, jac = t.constrain(z)
+            from repro.autodiff import ops
+            return ops.sum(val) + jac
+
+        from repro.autodiff import check_grad
+        assert check_grad(f, np.array([0.1, -0.5, 0.9]))
+
+
+class TestSimplex:
+    def test_requires_size_two(self):
+        with pytest.raises(ValueError, match="size >= 2"):
+            tr.Simplex(1)
+
+    def test_output_is_simplex(self):
+        t = tr.Simplex(4)
+        out = t.constrain_np(np.array([0.5, -1.0, 2.0]))
+        assert out.shape == (4,)
+        assert np.all(out > 0)
+        assert np.isclose(out.sum(), 1.0)
+
+    def test_zero_maps_to_uniform(self):
+        t = tr.Simplex(3)
+        out = t.constrain_np(np.zeros(2))
+        assert np.allclose(out, 1.0 / 3.0)
+
+    @given(hnp.arrays(dtype=float, shape=3,
+                      elements=st.floats(min_value=-3, max_value=3)))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, z):
+        t = tr.Simplex(4)
+        assert np.allclose(t.unconstrain(t.constrain_np(z)), z, atol=1e-5)
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(ValueError, match="expects"):
+            tr.Simplex(3).constrain(var(np.zeros(5)))
+
+    def test_jacobian_gradient_flows(self):
+        t = tr.Simplex(3)
+
+        def f(z):
+            val, jac = t.constrain(z)
+            from repro.autodiff import ops
+            return ops.dot(val, np.array([1.0, 2.0, 3.0])) + jac
+
+        from repro.autodiff import check_grad
+        assert check_grad(f, np.array([0.2, -0.7]))
