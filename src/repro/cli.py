@@ -7,7 +7,10 @@ Small, scriptable entry points over the library's main flows:
 * ``characterize`` — profile a workload and simulate its hardware counters;
 * ``elide`` — run with convergence detection and report the savings;
 * ``census`` — the Section VII-A distribution census;
-* ``subsample`` — the Section VII-B cache-fitting data-subsampling advice.
+* ``subsample`` — the Section VII-B cache-fitting data-subsampling advice;
+* ``submit`` / ``serve`` — queue sampling jobs and drain them through the
+  :mod:`repro.serve` inference service (parallel chains, predictor-driven
+  placement, mid-run elision).
 """
 
 from __future__ import annotations
@@ -72,17 +75,48 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--budget-fraction", type=float, default=0.12)
     report.add_argument("--cache-dir", default=None)
     report.add_argument("--seed", type=int, default=7)
+
+    submit = sub.add_parser(
+        "submit", help="queue a sampling job for `repro serve`"
+    )
+    _add_workload_argument(submit)
+    submit.add_argument("--iterations", type=int, default=400)
+    submit.add_argument("--warmup", type=int, default=None,
+                        help="warmup iterations (default: half)")
+    submit.add_argument("--chains", type=int, default=4)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--scale", type=float, default=0.5)
+    submit.add_argument("--engine", choices=("nuts", "hmc", "mh"),
+                        default="nuts")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="higher runs first")
+    submit.add_argument("--no-elide", action="store_true",
+                        help="always run the full budget")
+    submit.add_argument("--rhat-threshold", type=float, default=1.1)
+    submit.add_argument("--check-interval", type=int, default=20)
+    submit.add_argument("--min-kept", type=int, default=40)
+    submit.add_argument("--checkpoint-every", type=int, default=0,
+                        help="iterations between chain checkpoints (0: off)")
+    submit.add_argument("--queue-dir", default=".repro-serve")
+
+    serve = sub.add_parser(
+        "serve", help="run queued jobs through the inference service"
+    )
+    serve.add_argument("--drain", action="store_true",
+                       help="run every queued job to completion, then exit")
+    serve.add_argument("--queue-dir", default=".repro-serve")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: min(4, cores))")
+    serve.add_argument("--no-placement", action="store_true",
+                       help="skip profiling and predictor-driven placement")
+    serve.add_argument("--calibration-iterations", type=int, default=30)
     return parser
 
 
 def _engine(name: str):
-    from repro.inference import HMC, NUTS, MetropolisHastings
+    from repro.inference import build_engine
 
-    return {
-        "nuts": NUTS(max_tree_depth=6),
-        "hmc": HMC(n_leapfrog=16),
-        "mh": MetropolisHastings(),
-    }[name]
+    return build_engine(name)
 
 
 def cmd_table1() -> None:
@@ -197,6 +231,104 @@ def cmd_subsample(args) -> None:
               f"{'' if plan.fits else ', still over capacity'})")
 
 
+def _queue_file(queue_dir: str):
+    from pathlib import Path
+
+    return Path(queue_dir) / "queue.jsonl"
+
+
+def cmd_submit(args) -> int:
+    import json
+
+    from repro.serve import JobSpec
+
+    spec = JobSpec(
+        workload=args.workload,
+        engine=args.engine,
+        n_iterations=args.iterations,
+        n_warmup=args.warmup,
+        n_chains=args.chains,
+        seed=args.seed,
+        scale=args.scale,
+        priority=args.priority,
+        elide=not args.no_elide,
+        rhat_threshold=args.rhat_threshold,
+        check_interval=args.check_interval,
+        min_kept=args.min_kept,
+        checkpoint_interval=args.checkpoint_every,
+    )
+    path = _queue_file(args.queue_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as handle:
+        handle.write(json.dumps(spec.to_dict()) + "\n")
+    print(f"queued {spec.workload} (key {spec.key()}) in {path}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import json
+
+    from repro.serve import InferenceServer, JobState, ResultStore
+
+    if not args.drain:
+        print("repro serve currently supports --drain only "
+              "(run every queued job to completion, then exit)")
+        return 2
+
+    path = _queue_file(args.queue_dir)
+    if not path.exists():
+        print(f"no submit queue at {path}; use `repro submit` first")
+        return 1
+    from repro.serve import JobSpec
+
+    specs = [
+        JobSpec.from_dict(json.loads(line))
+        for line in path.read_text().splitlines() if line.strip()
+    ]
+    if not specs:
+        print("submit queue is empty")
+        return 0
+
+    store = ResultStore(directory=str(path.parent / "results"))
+    with InferenceServer(
+        n_workers=args.workers,
+        store=store,
+        checkpoint_dir=str(path.parent / "checkpoints"),
+        placement=not args.no_placement,
+        calibration_iterations=args.calibration_iterations,
+    ) as server:
+        jobs = [server.submit(spec) for spec in specs]
+        queued = {job.job_id for job in jobs if job.state is JobState.QUEUED}
+        print(f"draining {len(queued)} job(s) "
+              f"({len(jobs) - len(queued)} answered from the result store)")
+        server.run_until_drained()
+
+        print(f"{'job':<14s} {'workload':<10s} {'state':<10s} {'platform':<10s} "
+              f"{'kept':>9s} {'elided':>7s}")
+        failed = 0
+        for job in jobs:
+            failed += job.state is JobState.FAILED
+            platform = job.placement.platform if job.placement else "-"
+            if job.elision is not None and job.elision.elided:
+                kept = f"{job.elision.converged_kept}/{job.elision.budget_kept}"
+                saved = f"{100 * job.elision.iterations_saved_fraction:.0f}%"
+            elif job.result is not None:
+                kept = f"{job.result.n_kept}/{job.spec.budget_kept}"
+                saved = "0%"
+            else:
+                kept, saved = "-", "-"
+            print(f"{job.job_id:<14s} {job.spec.workload:<10s} "
+                  f"{job.state.value:<10s} {platform:<10s} {kept:>9s} "
+                  f"{saved:>7s}")
+            if job.error:
+                print(f"  error: {job.error.splitlines()[-1]}")
+
+    # Processed submissions leave the queue; results stay in the store.
+    path.write_text("")
+    print(f"results stored in {path.parent / 'results'}")
+    return 1 if failed else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     np.set_printoptions(precision=3, suppress=True)
@@ -214,6 +346,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         cmd_elide(args)
     elif args.command == "subsample":
         cmd_subsample(args)
+    elif args.command == "submit":
+        return cmd_submit(args)
+    elif args.command == "serve":
+        return cmd_serve(args)
     elif args.command == "report":
         from repro.core.pipeline import SuiteRunner
         from repro.report import write_report

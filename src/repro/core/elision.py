@@ -56,12 +56,21 @@ class OnlineRhat:
 
     def rhat(self) -> float:
         """Max split-style R-hat on the second half of current draws."""
-        n = self.n_draws
-        if n < 4:
+        return self.rhat_at(self.n_draws)
+
+    def rhat_at(self, stop: int) -> float:
+        """Max R-hat over the second half of the first ``stop`` draws.
+
+        Evaluating at a fixed horizon (rather than whatever extra draws fast
+        chains have raced ahead to) is what lets the serving layer's online
+        checks reproduce the post-hoc :class:`ConvergenceDetector` decision
+        at the same checkpoint.
+        """
+        if stop < 4 or self.n_draws < stop:
             return float("inf")
-        half = n // 2
+        half = stop // 2
         stacked = np.stack(
-            [np.asarray(self._draws[c][half:n]) for c in range(self.n_chains)]
+            [np.asarray(self._draws[c][half:stop]) for c in range(self.n_chains)]
         )
         return max_rhat(stacked)
 

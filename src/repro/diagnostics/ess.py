@@ -42,7 +42,12 @@ def effective_sample_size(draws: np.ndarray) -> float:
     var_plus = mean_var * (n_draws - 1) / n_draws
     if n_chains > 1:
         var_plus += chain_means.var(ddof=1)
-    if var_plus == 0.0:
+    # Scale-relative degeneracy test: a constant series can acquire a
+    # few-ulp variance under an affine transform (the mean rounds), so an
+    # exact zero check would break affine invariance.
+    scale_sq = float(np.max(np.abs(draws))) ** 2
+    degenerate = 1e-20 * max(scale_sq, np.finfo(float).tiny)
+    if var_plus <= degenerate:
         return float(n_chains * n_draws)
 
     # rho_t = 1 - (W - mean autocov_t) / var_plus

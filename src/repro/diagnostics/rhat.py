@@ -33,9 +33,15 @@ def gelman_rubin(draws: np.ndarray) -> float:
     within = chain_vars.mean()
     between = n_draws * chain_means.var(ddof=1)
 
-    if within == 0.0:
+    # Degeneracy must be judged relative to the draws' magnitude: the
+    # variance of a constant array is not exactly zero after an affine
+    # transform (the mean rounds by an ulp), and R-hat is affine-invariant,
+    # so the threshold has to scale with the squared data scale too.
+    scale_sq = float(np.max(np.abs(draws))) ** 2
+    degenerate = 1e-20 * max(scale_sq, np.finfo(float).tiny)
+    if within <= degenerate:
         # All chains constant: identical -> converged; different -> not.
-        return 1.0 if between == 0.0 else float("inf")
+        return 1.0 if between <= n_draws * degenerate else float("inf")
 
     var_estimate = (n_draws - 1) / n_draws * within + between / n_draws
     return float(np.sqrt(var_estimate / within))

@@ -16,16 +16,18 @@ chain's *work* (gradient evaluations per iteration) is recorded so the
 architectural model can reproduce the paper's slowest-chain effects.
 """
 
-from repro.inference.results import ChainResult, SamplingResult
+from repro.inference.results import ChainResult, IterationHook, SamplingResult
 from repro.inference.metropolis import MetropolisHastings
 from repro.inference.hmc import HMC
 from repro.inference.nuts import NUTS
 from repro.inference.slice_sampler import SliceSampler
 from repro.inference.advi import ADVI, AdviResult
-from repro.inference.chain import run_chains
+from repro.inference.chain import chain_rng, chain_start, run_chains
+from repro.inference.engines import build_engine, engine_names
 
 __all__ = [
     "ChainResult",
+    "IterationHook",
     "SamplingResult",
     "MetropolisHastings",
     "HMC",
@@ -33,5 +35,9 @@ __all__ = [
     "SliceSampler",
     "ADVI",
     "AdviResult",
+    "build_engine",
+    "chain_rng",
+    "chain_start",
+    "engine_names",
     "run_chains",
 ]

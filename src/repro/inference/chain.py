@@ -2,23 +2,41 @@
 
 Chains are statistically independent; the paper exploits exactly this
 parallelism on multicore CPUs (Section IV-B). Here chains run sequentially
-in-process (Python-level parallelism would not model the paper's hardware
-anyway — the architectural consequences of running chains on multiple cores
-are handled by :mod:`repro.arch`), but each chain gets an independent,
-deterministically seeded RNG stream, so results are identical however the
-chains are scheduled.
+in-process, but each chain gets an independent, deterministically seeded RNG
+stream (:func:`chain_rng`), so results are identical however the chains are
+scheduled — :mod:`repro.serve.workers` executes the very same chains on a
+``multiprocessing`` pool and reproduces this driver's output bit for bit.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.inference.results import SamplingResult
+from repro.inference.results import IterationHook, SamplingResult
 
 #: Number of chains suggested by Brooks et al. and used throughout the paper.
 DEFAULT_CHAINS = 4
+
+
+def chain_rng(seed: int, chain_index: int) -> np.random.Generator:
+    """The canonical RNG stream of chain ``chain_index`` under ``seed``.
+
+    Every executor — the sequential driver below, the ``repro.serve`` worker
+    pool, a future distributed backend — must derive chain streams through
+    this function; it is what makes chain placement irrelevant to results.
+    """
+    return np.random.default_rng(np.random.SeedSequence((seed, chain_index)))
+
+
+def chain_start(
+    model, seed: int, chain_index: int, initial_jitter: float = 1.0
+) -> Tuple[np.random.Generator, np.ndarray]:
+    """Seeded RNG and initial position for one chain (shared by executors)."""
+    rng = chain_rng(seed, chain_index)
+    x0 = model.initial_position(rng, jitter=initial_jitter)
+    return rng, x0
 
 
 def run_chains(
@@ -29,6 +47,7 @@ def run_chains(
     seed: int = 0,
     n_warmup: Optional[int] = None,
     initial_jitter: float = 1.0,
+    iteration_hook: IterationHook = None,
 ) -> SamplingResult:
     """Run ``n_chains`` independent chains of ``sampler`` on ``model``.
 
@@ -51,6 +70,9 @@ def run_chains(
     initial_jitter:
         Width of the uniform jitter around the model's declared inits, in
         unconstrained space.
+    iteration_hook:
+        Optional per-iteration callback threaded through to every chain
+        (see :data:`repro.inference.results.IterationHook`).
     """
     if n_iterations < 2:
         raise ValueError("n_iterations must be at least 2")
@@ -59,10 +81,12 @@ def run_chains(
 
     chains = []
     for chain_index in range(n_chains):
-        rng = np.random.default_rng(np.random.SeedSequence((seed, chain_index)))
-        x0 = model.initial_position(rng, jitter=initial_jitter)
+        rng, x0 = chain_start(model, seed, chain_index, initial_jitter)
         chains.append(
-            sampler.sample_chain(model, x0, n_iterations, rng, n_warmup=n_warmup)
+            sampler.sample_chain(
+                model, x0, n_iterations, rng, n_warmup=n_warmup,
+                iteration_hook=iteration_hook,
+            )
         )
 
     return SamplingResult(

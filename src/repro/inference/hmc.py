@@ -18,7 +18,7 @@ from repro.inference.adaptation import (
     WelfordVariance,
     find_reasonable_step_size,
 )
-from repro.inference.results import ChainResult
+from repro.inference.results import ChainResult, IterationHook
 
 LogpGrad = Callable[[np.ndarray], Tuple[float, np.ndarray]]
 
@@ -64,6 +64,7 @@ class HMC:
         n_iterations: int,
         rng: np.random.Generator,
         n_warmup: int | None = None,
+        iteration_hook: IterationHook = None,
     ) -> ChainResult:
         if n_warmup is None:
             n_warmup = n_iterations // 2
@@ -133,10 +134,14 @@ class HMC:
             elif t == n_warmup:
                 step = adapter.adapted_step_size
 
+            if iteration_hook is not None and not iteration_hook(t, samples[t]):
+                n_iterations = t + 1
+                break
+
         return ChainResult(
-            samples=samples,
-            logps=logps,
-            work_per_iteration=work,
+            samples=samples[:n_iterations],
+            logps=logps[:n_iterations],
+            work_per_iteration=work[:n_iterations],
             n_warmup=n_warmup,
             accept_rate=accepts / n_iterations,
             divergences=divergences,

@@ -11,7 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.inference.results import ChainResult
+from repro.inference.results import ChainResult, IterationHook
 
 
 @dataclass
@@ -29,6 +29,7 @@ class MetropolisHastings:
         n_iterations: int,
         rng: np.random.Generator,
         n_warmup: int | None = None,
+        iteration_hook: IterationHook = None,
     ) -> ChainResult:
         if n_warmup is None:
             n_warmup = n_iterations // 2
@@ -65,10 +66,14 @@ class MetropolisHastings:
                 scale *= np.exp((accepted - self.target_accept) / np.sqrt(t + 1.0))
                 scale = float(np.clip(scale, 1e-6, 1e3))
 
+            if iteration_hook is not None and not iteration_hook(t, samples[t]):
+                n_iterations = t + 1
+                break
+
         return ChainResult(
-            samples=samples,
-            logps=logps,
-            work_per_iteration=work,
+            samples=samples[:n_iterations],
+            logps=logps[:n_iterations],
+            work_per_iteration=work[:n_iterations],
             n_warmup=n_warmup,
             accept_rate=accepts / n_iterations,
             step_size=scale,

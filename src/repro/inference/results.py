@@ -3,9 +3,17 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
+
+#: Per-iteration sampler callback: called as ``hook(t, draw)`` after iteration
+#: ``t`` (0-based, warmup included) is recorded. Returning ``False`` stops the
+#: chain early; the sampler truncates its arrays to the iterations actually
+#: run. Because each chain consumes its RNG stream strictly in iteration
+#: order, the truncated output is bit-identical to a prefix of the full run —
+#: the property :mod:`repro.serve` relies on for mid-run elision.
+IterationHook = Optional[Callable[[int, np.ndarray], bool]]
 
 
 @dataclass

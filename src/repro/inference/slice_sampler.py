@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.inference.results import ChainResult
+from repro.inference.results import ChainResult, IterationHook
 
 
 @dataclass
@@ -33,6 +33,7 @@ class SliceSampler:
         n_iterations: int,
         rng: np.random.Generator,
         n_warmup: int | None = None,
+        iteration_hook: IterationHook = None,
     ) -> ChainResult:
         if n_warmup is None:
             n_warmup = n_iterations // 2
@@ -103,10 +104,14 @@ class SliceSampler:
             work[t] = iteration_evals
             evals += iteration_evals
 
+            if iteration_hook is not None and not iteration_hook(t, samples[t]):
+                n_iterations = t + 1
+                break
+
         return ChainResult(
-            samples=samples,
-            logps=logps,
-            work_per_iteration=work,
+            samples=samples[:n_iterations],
+            logps=logps[:n_iterations],
+            work_per_iteration=work[:n_iterations],
             n_warmup=n_warmup,
             accept_rate=1.0,   # slice sampling always moves within the slice
             step_size=float(widths.mean()),

@@ -1,0 +1,65 @@
+"""repro.serve — the inference job service.
+
+Turns the repo's offline replay of the paper's optimizations into a
+schedulable, interruptible, resumable job service:
+
+* :mod:`repro.serve.job` — job specs, identity keys, and the QUEUED →
+  RUNNING → {CONVERGED, DONE, FAILED} lifecycle;
+* :mod:`repro.serve.queue` — bounded priority queue with admission control
+  and duplicate folding;
+* :mod:`repro.serve.workers` — the parallel chain worker pool
+  (bit-identical to the sequential driver by seeded RNG streams);
+* :mod:`repro.serve.monitor` — online Gelman-Rubin monitoring for mid-run
+  computation elision;
+* :mod:`repro.serve.checkpoint` — periodic per-chain draw snapshots;
+* :mod:`repro.serve.store` — the deduplicating result store;
+* :mod:`repro.serve.server` — :class:`InferenceServer`, the orchestrator.
+
+Quick start::
+
+    from repro.serve import InferenceServer
+
+    with InferenceServer(n_workers=4) as server:
+        server.submit("12cities", n_iterations=400, scale=0.25)
+        server.submit("votes", engine="mh", n_iterations=600)
+        for job in server.run_until_drained():
+            print(job.state, job.placement, job.elision)
+"""
+
+from repro.serve.checkpoint import CheckpointStore
+from repro.serve.job import ElisionSummary, Job, JobSpec, JobState, Placement
+from repro.serve.monitor import ConvergenceMonitor
+from repro.serve.queue import AdmissionError, JobQueue
+from repro.serve.server import InferenceServer
+from repro.serve.store import ResultStore, StoredResult
+from repro.serve.workers import (
+    ChainExecutionError,
+    ChainTask,
+    ChainWorkerPool,
+    chain_tasks,
+    execute_chain,
+    parallel_run_chains,
+    truncate_chain,
+)
+
+__all__ = [
+    "AdmissionError",
+    "ChainExecutionError",
+    "ChainTask",
+    "ChainWorkerPool",
+    "CheckpointStore",
+    "ConvergenceMonitor",
+    "ElisionSummary",
+    "InferenceServer",
+    "Job",
+    "JobQueue",
+    "JobSpec",
+    "JobState",
+    "Placement",
+    "ResultStore",
+    "StoredResult",
+    "chain_tasks",
+    "execute_chain",
+    "parallel_run_chains",
+    "truncate_chain",
+]

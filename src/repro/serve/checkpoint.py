@@ -1,0 +1,92 @@
+"""Chain checkpointing for running jobs.
+
+Each worker periodically snapshots its chain's draws-so-far to one ``.npz``
+file per ``(job, chain)``; writes are atomic (tmp + rename) and contention
+free because a chain is owned by exactly one process. A crashed or killed
+job therefore leaves a usable partial posterior behind — the same prefix a
+completed run would have produced, by the determinism guarantee — which
+:func:`CheckpointStore.load_job` reassembles into per-chain arrays.
+
+Checkpoint format (npz):
+
+* ``samples`` — (t+1, dim) draws so far, warmup included;
+* ``iteration`` — last completed iteration ``t`` (0-based);
+* ``n_warmup``, ``n_iterations``, ``chain_index`` — run geometry.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+
+class CheckpointStore:
+    """Per-(job, chain) draw snapshots under one directory."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = Path(directory)
+
+    def _path(self, job_id: str, chain_index: int) -> Path:
+        return self.directory / job_id / f"chain-{chain_index:03d}.npz"
+
+    def save_chain(
+        self,
+        job_id: str,
+        chain_index: int,
+        samples: np.ndarray,
+        iteration: int,
+        n_warmup: int,
+        n_iterations: int,
+    ) -> Path:
+        path = self._path(job_id, chain_index)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp.npz")
+        np.savez(
+            tmp,
+            samples=np.asarray(samples),
+            iteration=np.int64(iteration),
+            n_warmup=np.int64(n_warmup),
+            n_iterations=np.int64(n_iterations),
+            chain_index=np.int64(chain_index),
+        )
+        tmp.replace(path)
+        return path
+
+    def load_chain(self, job_id: str, chain_index: int) -> Optional[Dict]:
+        path = self._path(job_id, chain_index)
+        if not path.exists():
+            return None
+        with np.load(path) as payload:
+            return {name: payload[name] for name in payload.files}
+
+    def load_job(self, job_id: str) -> Dict[int, Dict]:
+        """All checkpointed chains of a job, keyed by chain index."""
+        job_dir = self.directory / job_id
+        if not job_dir.exists():
+            return {}
+        chains: Dict[int, Dict] = {}
+        for path in sorted(job_dir.glob("chain-*.npz")):
+            with np.load(path) as payload:
+                record = {name: payload[name] for name in payload.files}
+            chains[int(record["chain_index"])] = record
+        return chains
+
+    def latest_iteration(self, job_id: str, chain_index: int) -> int:
+        """Last checkpointed iteration, or -1 when none exists."""
+        record = self.load_chain(job_id, chain_index)
+        if record is None:
+            return -1
+        return int(record["iteration"])
+
+    def discard_job(self, job_id: str) -> None:
+        job_dir = self.directory / job_id
+        if not job_dir.exists():
+            return
+        for path in job_dir.glob("chain-*.npz"):
+            path.unlink()
+        try:
+            job_dir.rmdir()
+        except OSError:
+            pass

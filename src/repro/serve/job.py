@@ -1,0 +1,219 @@
+"""Job model for the inference service.
+
+A :class:`JobSpec` is the plain-data description of one sampling request —
+everything needed to reproduce the run exactly, and nothing else. It travels
+through JSON (the CLI submit queue) and across process boundaries (the worker
+pool), and its :meth:`~JobSpec.key` is the dedup/result-store identity: two
+specs with the same key are guaranteed to produce bit-identical draws, so the
+service never runs the same work twice.
+
+A :class:`Job` wraps a spec with service state: the QUEUED → RUNNING →
+{CONVERGED, DONE, FAILED} lifecycle, the placement decision, and the
+execution outcome.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import uuid
+from dataclasses import asdict, dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional
+
+from repro.inference.engines import build_engine, engine_names
+from repro.inference.results import SamplingResult
+
+
+class JobState(str, Enum):
+    """Lifecycle of a job inside the service."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    #: Stopped mid-run by the convergence monitor (iterations elided).
+    CONVERGED = "converged"
+    #: Ran its full budget (or was answered from the result store).
+    DONE = "done"
+    FAILED = "failed"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.CONVERGED, JobState.DONE, JobState.FAILED)
+
+
+_TRANSITIONS = {
+    JobState.QUEUED: {JobState.RUNNING, JobState.DONE, JobState.FAILED},
+    JobState.RUNNING: {JobState.CONVERGED, JobState.DONE, JobState.FAILED},
+    JobState.CONVERGED: set(),
+    JobState.DONE: set(),
+    JobState.FAILED: set(),
+}
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One sampling request. Frozen: the key must not drift after submit."""
+
+    workload: str
+    engine: str = "nuts"
+    n_iterations: int = 400
+    n_warmup: Optional[int] = None
+    n_chains: int = 4
+    seed: int = 0
+    #: Dataset scale (1.0 full, 0.5/0.25 the paper's -h/-q variants).
+    scale: float = 1.0
+    #: Overrides the workload's default synthetic-dataset seed.
+    dataset_seed: Optional[int] = None
+    initial_jitter: float = 1.0
+    #: Extra sampler constructor arguments (e.g. ``{"max_tree_depth": 8}``).
+    engine_options: Dict[str, Any] = field(default_factory=dict)
+    #: Higher runs first; ties are FIFO.
+    priority: int = 0
+    #: Monitor R-hat online and stop the job once converged.
+    elide: bool = True
+    rhat_threshold: float = 1.1
+    #: Kept-draw interval between online R-hat evaluations.
+    check_interval: int = 20
+    #: Kept draws required before the first R-hat evaluation.
+    min_kept: int = 40
+    #: Iterations between chain checkpoints (0 disables checkpointing).
+    checkpoint_interval: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_iterations < 2:
+            raise ValueError("n_iterations must be at least 2")
+        if self.n_chains < 1:
+            raise ValueError("n_chains must be at least 1")
+        if self.n_warmup is not None and self.n_warmup >= self.n_iterations:
+            raise ValueError("n_warmup must be smaller than n_iterations")
+        if self.engine not in engine_names():
+            raise ValueError(
+                f"unknown engine {self.engine!r}; "
+                f"available: {', '.join(engine_names())}"
+            )
+        if self.check_interval < 1:
+            raise ValueError("check_interval must be >= 1")
+
+    @property
+    def resolved_warmup(self) -> int:
+        """Warmup iterations after applying the samplers' half-run default."""
+        return (
+            self.n_warmup if self.n_warmup is not None
+            else self.n_iterations // 2
+        )
+
+    @property
+    def budget_kept(self) -> int:
+        """Post-warmup iterations the user asked for."""
+        return self.n_iterations - self.resolved_warmup
+
+    def build_sampler(self):
+        return build_engine(self.engine, self.engine_options)
+
+    # -- identity --------------------------------------------------------------
+
+    def key(self) -> str:
+        """Stable digest of every field that determines the produced draws.
+
+        ``priority`` and ``checkpoint_interval`` affect scheduling and
+        fault-tolerance, never the draws, so they are excluded — a repeat
+        submission at a different priority still dedupes.
+        """
+        payload = asdict(self)
+        payload["n_warmup"] = self.resolved_warmup
+        payload.pop("priority")
+        payload.pop("checkpoint_interval")
+        blob = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    # -- (de)serialization for the CLI submit queue ----------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "JobSpec":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown JobSpec fields: {sorted(unknown)}")
+        return cls(**payload)
+
+
+@dataclass
+class Placement:
+    """The predictor-driven platform decision for one job."""
+
+    platform: str
+    predicted_llc_bound: bool
+    predicted_mpki: float
+    #: False when the fallback capacity rule placed the job because the
+    #: predictor had fewer than two characterization points to fit on.
+    predictor_fitted: bool = True
+
+
+@dataclass
+class ElisionSummary:
+    """What the online monitor decided for one job."""
+
+    budget_kept: int
+    converged_kept: Optional[int]
+    rhat_threshold: float
+    checkpoints: List[int] = field(default_factory=list)
+    rhat_trace: List[float] = field(default_factory=list)
+
+    @property
+    def elided(self) -> bool:
+        return self.converged_kept is not None
+
+    @property
+    def iterations_saved_fraction(self) -> float:
+        if not self.elided:
+            return 0.0
+        return 1.0 - self.converged_kept / self.budget_kept
+
+
+class Job:
+    """A spec plus its service-side state."""
+
+    def __init__(self, spec: JobSpec, job_id: Optional[str] = None) -> None:
+        self.spec = spec
+        self.job_id = job_id or uuid.uuid4().hex[:12]
+        self.state = JobState.QUEUED
+        self.result: Optional[SamplingResult] = None
+        self.placement: Optional[Placement] = None
+        self.elision: Optional[ElisionSummary] = None
+        self.error: Optional[str] = None
+        #: Simulated seconds on the chosen/baseline platform (filled by the
+        #: server when a scheduler is available).
+        self.simulated_seconds: Optional[float] = None
+        self.baseline_seconds: Optional[float] = None
+        #: True when the result was answered from the store without sampling.
+        self.deduped = False
+
+    @property
+    def key(self) -> str:
+        return self.spec.key()
+
+    def transition(self, new_state: JobState) -> None:
+        if new_state not in _TRANSITIONS[self.state]:
+            raise ValueError(
+                f"illegal job transition {self.state.value} -> {new_state.value}"
+            )
+        self.state = new_state
+
+    def fail(self, error: str) -> None:
+        self.error = error
+        self.transition(JobState.FAILED)
+
+    @property
+    def speedup(self) -> Optional[float]:
+        if not self.simulated_seconds or not self.baseline_seconds:
+            return None
+        return self.baseline_seconds / self.simulated_seconds
+
+    def __repr__(self) -> str:
+        return (
+            f"Job(id={self.job_id}, workload={self.spec.workload!r}, "
+            f"state={self.state.value})"
+        )

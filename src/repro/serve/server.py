@@ -1,0 +1,288 @@
+"""The inference job service: submission, placement, execution, elision.
+
+:class:`InferenceServer` ties the subsystem together. A submitted
+:class:`~repro.serve.job.JobSpec` is first checked against the result store
+(deterministic execution makes every stored result authoritative — repeat
+traffic costs nothing), then admitted to the priority queue. Draining the
+queue runs each job through the paper's full optimization story, now as a
+service rather than an offline replay:
+
+1. **Placement** — the workload is profiled once, its simulated 4-core LLC
+   MPKI becomes a characterization point, and the
+   :class:`~repro.core.predictor.LlcMissPredictor` (refit as points accrue)
+   drives the :class:`~repro.core.scheduler.PlatformScheduler` placement
+   rule: predicted-LLC-bound jobs go to the big-cache platform, the rest to
+   the fast one. Until two distinct workloads have been seen the fallback
+   rule places directly on the simulated MPKI.
+2. **Parallel execution** — chains are sharded across the
+   :class:`~repro.serve.workers.ChainWorkerPool`, bit-identical to the
+   sequential driver.
+3. **Mid-run elision** — streamed draws feed a
+   :class:`~repro.serve.monitor.ConvergenceMonitor`; on detection the stop
+   iteration is broadcast and the job ends in state ``CONVERGED`` with only
+   the iterations it actually needed.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.arch.machine import MachineModel
+from repro.arch.platforms import SKYLAKE
+from repro.arch.profile import WorkloadProfile, profile_workload
+from repro.core.predictor import LLC_BOUND_MPKI, LlcMissPredictor, PredictionPoint
+from repro.core.scheduler import PlatformScheduler
+from repro.inference.results import SamplingResult
+from repro.serve.job import ElisionSummary, Job, JobSpec, JobState, Placement
+from repro.serve.monitor import ConvergenceMonitor
+from repro.serve.queue import JobQueue
+from repro.serve.store import ResultStore, StoredResult
+from repro.serve.workers import ChainWorkerPool, chain_tasks, truncate_chain
+
+
+class InferenceServer:
+    """Synchronous job service over the chain worker pool."""
+
+    def __init__(
+        self,
+        n_workers: Optional[int] = None,
+        scheduler: Optional[PlatformScheduler] = None,
+        store: Optional[ResultStore] = None,
+        queue: Optional[JobQueue] = None,
+        pool: Optional[ChainWorkerPool] = None,
+        checkpoint_dir: Optional[str] = None,
+        max_pending: Optional[int] = 64,
+        start_method: Optional[str] = None,
+        #: Disable to skip profiling/placement (pure execution backend).
+        placement: bool = True,
+        #: Calibration budget for profiling; small values keep admission
+        #: cheap, the profile only needs the mean trajectory length.
+        calibration_iterations: int = 30,
+    ) -> None:
+        # `is None` checks: JobQueue and ResultStore are sized containers,
+        # so a freshly injected (empty) one is falsy.
+        self.queue = queue if queue is not None else JobQueue(max_pending=max_pending)
+        self.store = store if store is not None else ResultStore()
+        self.pool = pool if pool is not None else ChainWorkerPool(
+            n_workers=n_workers, start_method=start_method
+        )
+        self.checkpoint_dir = checkpoint_dir
+        self.placement = placement
+        self.calibration_iterations = calibration_iterations
+        #: All jobs ever seen by this server, by id (submission order).
+        self.jobs: Dict[str, Job] = {}
+        self._models: Dict[Tuple, object] = {}
+        self._profiles: Dict[Tuple, WorkloadProfile] = {}
+        self._points: Dict[str, PredictionPoint] = {}
+        self._scheduler = scheduler
+        self._scheduler_injected = scheduler is not None
+        self._characterizer = MachineModel(SKYLAKE)
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, spec: Union[JobSpec, str], **overrides) -> Job:
+        """Admit a request; dedupe against the store and the queue.
+
+        Accepts a full :class:`JobSpec` or a workload name plus spec fields.
+        Returns the job tracking this work — possibly an already-queued
+        duplicate, or an immediately-DONE job answered from the store.
+        """
+        if isinstance(spec, str):
+            spec = JobSpec(workload=spec, **overrides)
+        elif overrides:
+            raise TypeError("pass either a JobSpec or a workload name + fields")
+        from repro.suite import workload_names
+
+        if spec.workload not in workload_names():
+            raise KeyError(
+                f"unknown workload {spec.workload!r}; "
+                f"available: {', '.join(workload_names())}"
+            )
+
+        stored = self.store.get(spec.key())
+        if stored is not None:
+            job = Job(spec)
+            job.deduped = True
+            job.result = stored.result
+            job.placement = stored.placement
+            job.elision = stored.elision
+            job.transition(JobState.DONE)
+            self.jobs[job.job_id] = job
+            return job
+
+        job = self.queue.push(Job(spec))
+        self.jobs.setdefault(job.job_id, job)
+        return job
+
+    # -- placement -------------------------------------------------------------
+
+    def _cache_key(self, spec: JobSpec) -> Tuple:
+        return (spec.workload, spec.scale, spec.dataset_seed)
+
+    def _model(self, spec: JobSpec):
+        from repro.suite import load_workload
+
+        key = self._cache_key(spec)
+        if key not in self._models:
+            self._models[key] = load_workload(
+                spec.workload, scale=spec.scale, seed=spec.dataset_seed
+            )
+        return self._models[key]
+
+    def _profile(self, spec: JobSpec) -> WorkloadProfile:
+        key = self._cache_key(spec)
+        if key not in self._profiles:
+            self._profiles[key] = profile_workload(
+                self._model(spec),
+                calibration_iterations=self.calibration_iterations,
+                n_chains=2,
+                seed=spec.seed,
+            )
+        return self._profiles[key]
+
+    def _place(self, profile: WorkloadProfile) -> Placement:
+        """Predictor-driven placement, falling back to the direct MPKI rule
+        until two distinct workloads give the predictor something to fit."""
+        if profile.name not in self._points:
+            counters = self._characterizer.counters(
+                profile, n_cores=4, n_chains=4
+            )
+            self._points[profile.name] = PredictionPoint(
+                name=profile.name,
+                modeled_data_bytes=profile.modeled_data_bytes,
+                llc_mpki=counters.llc_mpki,
+            )
+            if not self._scheduler_injected and len(self._points) >= 2:
+                predictor = LlcMissPredictor().fit(list(self._points.values()))
+                self._scheduler = PlatformScheduler(predictor)
+
+        if self._scheduler is not None:
+            platform = self._scheduler.choose_platform(profile)
+            predictor = self._scheduler.predictor
+            return Placement(
+                platform=platform.codename,
+                predicted_llc_bound=predictor.predict_llc_bound(
+                    profile.modeled_data_bytes
+                ),
+                predicted_mpki=predictor.predict_mpki(
+                    profile.modeled_data_bytes
+                ),
+                predictor_fitted=True,
+            )
+
+        # Cold start: a single point cannot fit a threshold, but its own
+        # simulated MPKI already answers the LLC-bound question.
+        point = self._points[profile.name]
+        bound = point.llc_mpki >= LLC_BOUND_MPKI
+        fallback = PlatformScheduler(LlcMissPredictor())
+        platform = fallback.big_cache if bound else fallback.fast
+        return Placement(
+            platform=platform.codename,
+            predicted_llc_bound=bound,
+            predicted_mpki=point.llc_mpki,
+            predictor_fitted=False,
+        )
+
+    # -- execution -------------------------------------------------------------
+
+    def run_next(self) -> Optional[Job]:
+        """Pop and execute the highest-priority job; None when drained."""
+        job = self.queue.pop()
+        if job is None:
+            return None
+        spec = job.spec
+        job.transition(JobState.RUNNING)
+        try:
+            self._execute(job)
+        except Exception:
+            job.fail(traceback.format_exc())
+        return job
+
+    def _execute(self, job: Job) -> None:
+        spec = job.spec
+        model = self._model(spec)
+
+        profile: Optional[WorkloadProfile] = None
+        if self.placement:
+            profile = self._profile(spec)
+            job.placement = self._place(profile)
+
+        monitor: Optional[ConvergenceMonitor] = None
+        if spec.elide and spec.n_chains >= 2:
+            monitor = ConvergenceMonitor(
+                n_chains=spec.n_chains,
+                dim=model.dim,
+                rhat_threshold=spec.rhat_threshold,
+                check_interval=spec.check_interval,
+                min_kept=spec.min_kept,
+            )
+
+        def on_draws(chain_index, kept_block):
+            if monitor is None:
+                return None
+            stop_kept = monitor.observe(chain_index, kept_block)
+            if stop_kept is None:
+                return None
+            return spec.resolved_warmup + stop_kept
+
+        chains = self.pool.run_job(
+            chain_tasks(spec, job.job_id, self.checkpoint_dir),
+            on_draws=on_draws,
+        )
+
+        elided = monitor is not None and monitor.converged
+        if elided:
+            total = spec.resolved_warmup + monitor.converged_kept
+            chains = [truncate_chain(chain, total) for chain in chains]
+
+        job.result = SamplingResult(
+            model_name=model.name,
+            chains=chains,
+            param_names=model.flat_param_names(),
+        )
+        if monitor is not None:
+            job.elision = ElisionSummary(
+                budget_kept=spec.budget_kept,
+                converged_kept=monitor.converged_kept,
+                rhat_threshold=spec.rhat_threshold,
+                checkpoints=list(monitor.checkpoints),
+                rhat_trace=list(monitor.rhat_trace),
+            )
+        if self._scheduler is not None and profile is not None:
+            scheduled = self._scheduler.schedule(
+                profile, list(job.result.chain_work)
+            )
+            job.simulated_seconds = scheduled.seconds
+            job.baseline_seconds = scheduled.baseline_seconds
+
+        self.store.put(
+            spec.key(),
+            StoredResult(
+                spec=spec,
+                result=job.result,
+                placement=job.placement,
+                elision=job.elision,
+            ),
+        )
+        job.transition(JobState.CONVERGED if elided else JobState.DONE)
+
+    def run_until_drained(self) -> List[Job]:
+        """Execute every queued job (priority order); return them."""
+        finished: List[Job] = []
+        while True:
+            job = self.run_next()
+            if job is None:
+                return finished
+            finished.append(job)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        self.pool.shutdown()
+
+    def __enter__(self) -> "InferenceServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,79 @@
+"""Result store — the service's memoization layer.
+
+Results are keyed by :meth:`JobSpec.key`, the digest of everything that
+determines the draws. Because execution is deterministic (per-chain seeded
+RNG streams), a stored result is *the* answer for that key: repeat
+submissions are served from the store without sampling, which is what lets
+the service absorb duplicate traffic cheaply.
+
+The store is in-memory by default; give it a directory and every record is
+also pickled to disk, surviving server restarts.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.inference.results import SamplingResult
+from repro.serve.job import ElisionSummary, JobSpec, Placement
+
+
+@dataclass
+class StoredResult:
+    """One completed job's durable record."""
+
+    spec: JobSpec
+    result: SamplingResult
+    placement: Optional[Placement] = None
+    elision: Optional[ElisionSummary] = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+class ResultStore:
+    """Keyed result cache with optional on-disk persistence."""
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = Path(directory) if directory else None
+        self._records: Dict[str, StoredResult] = {}
+
+    def _path(self, key: str) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / f"{key}.pkl"
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def keys(self):
+        keys = set(self._records)
+        if self.directory is not None and self.directory.exists():
+            keys.update(p.stem for p in self.directory.glob("*.pkl"))
+        return sorted(keys)
+
+    def get(self, key: str) -> Optional[StoredResult]:
+        record = self._records.get(key)
+        if record is not None:
+            return record
+        path = self._path(key)
+        if path is not None and path.exists():
+            with path.open("rb") as handle:
+                record = pickle.load(handle)
+            self._records[key] = record
+            return record
+        return None
+
+    def put(self, key: str, record: StoredResult) -> None:
+        self._records[key] = record
+        path = self._path(key)
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            with tmp.open("wb") as handle:
+                pickle.dump(record, handle)
+            tmp.replace(path)

@@ -1,0 +1,355 @@
+"""Parallel chain execution on a ``multiprocessing`` worker pool.
+
+Chains are statistically independent (Algorithm 1's outer loop), so the pool
+shards a job's chains across worker processes. Determinism is preserved by
+construction: a worker rebuilds the model from the workload registry and
+derives its RNG stream through :func:`repro.inference.chain.chain_start`,
+the exact code path of the sequential driver — so the draws are bit-identical
+to :func:`repro.inference.run_chains` however the chains are placed.
+
+While running, each chain streams blocks of post-warmup draws back through
+an event queue (feeding the server's online R-hat monitor) and optionally
+snapshots its draws to a :class:`~repro.serve.checkpoint.CheckpointStore`.
+A shared stop iteration lets the parent halt every chain mid-run — the
+mechanism behind mid-run convergence elision.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_module
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.inference.chain import chain_start
+from repro.inference.engines import build_engine
+from repro.inference.results import ChainResult, SamplingResult
+
+#: Draw-block size streamed to the monitor when elision is off: one flush at
+#: the end of the chain keeps the event queue quiet.
+_NO_MONITOR_INTERVAL = 1 << 30
+
+
+@dataclass(frozen=True)
+class ChainTask:
+    """Everything one worker needs to run one chain of one job."""
+
+    job_id: str
+    chain_index: int
+    workload: str
+    scale: float
+    dataset_seed: Optional[int]
+    engine: str
+    engine_options: Dict[str, Any]
+    n_iterations: int
+    n_warmup: int
+    seed: int
+    initial_jitter: float
+    #: Kept draws per streamed block (the monitor's check granularity).
+    report_interval: int = 20
+    checkpoint_interval: int = 0
+    checkpoint_dir: Optional[str] = None
+
+
+class ChainExecutionError(RuntimeError):
+    """One or more chains of a job raised inside a worker."""
+
+    def __init__(self, job_id: str, tracebacks: Dict[int, str]) -> None:
+        self.job_id = job_id
+        self.tracebacks = tracebacks
+        chains = ", ".join(str(c) for c in sorted(tracebacks))
+        super().__init__(
+            f"job {job_id}: chain(s) {chains} failed:\n"
+            + "\n".join(tracebacks.values())
+        )
+
+
+def execute_chain(
+    task: ChainTask,
+    emit: Optional[Callable[[int, np.ndarray], None]] = None,
+    stop_iteration: Optional[Callable[[], int]] = None,
+) -> ChainResult:
+    """Run one chain exactly as the sequential driver would.
+
+    ``emit(chain_index, kept_block)`` streams post-warmup draws in blocks of
+    ``report_interval``; ``stop_iteration()`` is polled every iteration and a
+    non-negative value stops the chain once ``t + 1`` reaches it.
+    """
+    from repro.serve.checkpoint import CheckpointStore
+    from repro.suite import load_workload
+
+    model = load_workload(task.workload, scale=task.scale, seed=task.dataset_seed)
+    sampler = build_engine(task.engine, task.engine_options)
+    rng, x0 = chain_start(model, task.seed, task.chain_index, task.initial_jitter)
+
+    checkpoints = (
+        CheckpointStore(task.checkpoint_dir)
+        if task.checkpoint_dir and task.checkpoint_interval > 0
+        else None
+    )
+    history: List[np.ndarray] = []
+    pending: List[np.ndarray] = []
+
+    def hook(t: int, draw: np.ndarray) -> bool:
+        if checkpoints is not None:
+            history.append(draw.copy())
+        stop = -1 if stop_iteration is None else int(stop_iteration())
+        stopping = 0 <= stop <= t + 1
+        last = stopping or t + 1 == task.n_iterations
+        if emit is not None:
+            if t + 1 > task.n_warmup:
+                pending.append(draw.copy())
+            if pending and (len(pending) >= task.report_interval or last):
+                emit(task.chain_index, np.asarray(pending))
+                pending.clear()
+        if checkpoints is not None and (
+            (t + 1) % task.checkpoint_interval == 0 or last
+        ):
+            checkpoints.save_chain(
+                task.job_id, task.chain_index,
+                samples=np.asarray(history),
+                iteration=t, n_warmup=task.n_warmup,
+                n_iterations=task.n_iterations,
+            )
+        return not stopping
+
+    return sampler.sample_chain(
+        model, x0, task.n_iterations, rng,
+        n_warmup=task.n_warmup, iteration_hook=hook,
+    )
+
+
+def truncate_chain(chain: ChainResult, n_iterations: int) -> ChainResult:
+    """A copy of ``chain`` cut to its first ``n_iterations`` iterations.
+
+    The elided result: by per-iteration RNG sequencing, this equals what the
+    chain would have recorded had it been stopped at that point.
+    """
+    if chain.n_iterations <= n_iterations:
+        return chain
+    return ChainResult(
+        samples=chain.samples[:n_iterations].copy(),
+        logps=chain.logps[:n_iterations].copy(),
+        work_per_iteration=chain.work_per_iteration[:n_iterations].copy(),
+        n_warmup=chain.n_warmup,
+        accept_rate=chain.accept_rate,
+        divergences=chain.divergences,
+        tree_depths=(
+            chain.tree_depths[:n_iterations].copy()
+            if chain.tree_depths is not None else None
+        ),
+        step_size=chain.step_size,
+    )
+
+
+def _worker_loop(tasks: mp.Queue, events: mp.Queue, stop_value) -> None:
+    """Worker process main: pull chain tasks until the None sentinel."""
+    while True:
+        task = tasks.get()
+        if task is None:
+            return
+        try:
+            chain = execute_chain(
+                task,
+                emit=lambda chain_index, block: events.put(
+                    ("draws", task.job_id, chain_index, block)
+                ),
+                stop_iteration=lambda: stop_value.value,
+            )
+            events.put(("done", task.job_id, task.chain_index, chain))
+        except Exception:
+            events.put(
+                ("error", task.job_id, task.chain_index, traceback.format_exc())
+            )
+
+
+class ChainWorkerPool:
+    """Persistent pool of chain-worker processes.
+
+    Jobs execute one at a time; each job's chains are sharded across the
+    pool's processes. ``on_draws(chain_index, kept_block)`` receives streamed
+    draw blocks and may return an absolute iteration at which every chain
+    should stop (the elision broadcast).
+    """
+
+    def __init__(
+        self,
+        n_workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+        job_timeout: float = 3600.0,
+    ) -> None:
+        self.n_workers = n_workers or min(4, os.cpu_count() or 1)
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be positive")
+        if start_method is None:
+            # fork keeps startup cheap where available (Linux/macOS CLI).
+            start_method = (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+        self._ctx = mp.get_context(start_method)
+        self.job_timeout = job_timeout
+        self._procs: List[mp.Process] = []
+        self._tasks = None
+        self._events = None
+        self._stop = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return bool(self._procs)
+
+    def _ensure_started(self) -> None:
+        if self._procs:
+            return
+        self._tasks = self._ctx.Queue()
+        self._events = self._ctx.Queue()
+        self._stop = self._ctx.Value("q", -1)
+        self._procs = [
+            self._ctx.Process(
+                target=_worker_loop,
+                args=(self._tasks, self._events, self._stop),
+                daemon=True,
+                name=f"repro-chain-worker-{i}",
+            )
+            for i in range(self.n_workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+
+    def shutdown(self) -> None:
+        if not self._procs:
+            return
+        for _ in self._procs:
+            self._tasks.put(None)
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+        self._procs = []
+        self._tasks = self._events = self._stop = None
+
+    def __enter__(self) -> "ChainWorkerPool":
+        self._ensure_started()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- execution -------------------------------------------------------------
+
+    def run_job(
+        self,
+        tasks: List[ChainTask],
+        on_draws: Optional[Callable[[int, np.ndarray], Optional[int]]] = None,
+    ) -> List[ChainResult]:
+        """Execute one job's chain shards; block until every chain returns.
+
+        Returns the chains in task order. Raises
+        :class:`ChainExecutionError` if any chain failed (the remaining
+        chains are halted at their next iteration first, so the pool stays
+        drained and reusable).
+        """
+        if not tasks:
+            return []
+        self._ensure_started()
+        with self._stop.get_lock():
+            self._stop.value = -1
+        for task in tasks:
+            self._tasks.put(task)
+
+        chains: Dict[int, ChainResult] = {}
+        errors: Dict[int, str] = {}
+        outstanding = len(tasks)
+        job_id = tasks[0].job_id
+        while outstanding:
+            try:
+                kind, _, chain_index, payload = self._events.get(
+                    timeout=self.job_timeout
+                )
+            except queue_module.Empty:
+                self.shutdown()
+                raise TimeoutError(
+                    f"job {job_id}: no worker event within "
+                    f"{self.job_timeout:.0f}s; pool shut down"
+                ) from None
+            if kind == "draws":
+                if on_draws is not None and not errors:
+                    stop_at = on_draws(chain_index, payload)
+                    if stop_at is not None:
+                        with self._stop.get_lock():
+                            if self._stop.value < 0:
+                                self._stop.value = int(stop_at)
+            elif kind == "done":
+                chains[chain_index] = payload
+                outstanding -= 1
+            else:  # error
+                errors[chain_index] = payload
+                outstanding -= 1
+                # Halt the surviving chains at their next iteration.
+                with self._stop.get_lock():
+                    self._stop.value = 0
+        if errors:
+            raise ChainExecutionError(job_id, errors)
+        return [chains[task.chain_index] for task in tasks]
+
+
+def chain_tasks(spec, job_id: str, checkpoint_dir: Optional[str] = None) -> List[ChainTask]:
+    """Shard a :class:`~repro.serve.job.JobSpec` into per-chain tasks."""
+    report_interval = (
+        spec.check_interval if spec.elide and spec.n_chains >= 2
+        else _NO_MONITOR_INTERVAL
+    )
+    return [
+        ChainTask(
+            job_id=job_id,
+            chain_index=chain_index,
+            workload=spec.workload,
+            scale=spec.scale,
+            dataset_seed=spec.dataset_seed,
+            engine=spec.engine,
+            engine_options=dict(spec.engine_options),
+            n_iterations=spec.n_iterations,
+            n_warmup=spec.resolved_warmup,
+            seed=spec.seed,
+            initial_jitter=spec.initial_jitter,
+            report_interval=report_interval,
+            checkpoint_interval=spec.checkpoint_interval,
+            checkpoint_dir=checkpoint_dir,
+        )
+        for chain_index in range(spec.n_chains)
+    ]
+
+
+def parallel_run_chains(
+    spec,
+    pool: Optional[ChainWorkerPool] = None,
+    job_id: str = "adhoc",
+) -> SamplingResult:
+    """The worker-pool equivalent of :func:`repro.inference.run_chains`.
+
+    Runs the spec's chains in parallel with no monitor (full budget) and
+    assembles the same :class:`SamplingResult` the sequential driver returns
+    — bit-identical, which the determinism regression test asserts.
+    """
+    from repro.suite import load_workload
+
+    owned = pool is None
+    if owned:
+        pool = ChainWorkerPool(n_workers=min(spec.n_chains, os.cpu_count() or 1))
+    try:
+        chains = pool.run_job(chain_tasks(spec, job_id))
+    finally:
+        if owned:
+            pool.shutdown()
+    model = load_workload(spec.workload, scale=spec.scale, seed=spec.dataset_seed)
+    return SamplingResult(
+        model_name=model.name,
+        chains=chains,
+        param_names=model.flat_param_names(),
+    )

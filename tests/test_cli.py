@@ -55,6 +55,7 @@ class TestCommands:
         assert "R-hat" in out
         assert "rhat" in out  # summary header
 
+    @pytest.mark.slow
     def test_elide_small(self, capsys):
         code = main([
             "elide", "butterfly", "--iterations", "120", "--scale", "0.25",
@@ -62,3 +63,55 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "butterfly" in out
+
+
+class TestServeCommands:
+    def _submit(self, queue_dir, workload="votes", seed=0, priority=0):
+        return main([
+            "submit", workload, "--engine", "mh", "--iterations", "40",
+            "--chains", "2", "--seed", str(seed), "--no-elide",
+            "--priority", str(priority), "--queue-dir", str(queue_dir),
+        ])
+
+    def test_submit_appends_to_queue(self, tmp_path, capsys):
+        assert self._submit(tmp_path, seed=0) == 0
+        assert self._submit(tmp_path, seed=1) == 0
+        queue_file = tmp_path / "queue.jsonl"
+        assert len(queue_file.read_text().splitlines()) == 2
+        assert "queued votes" in capsys.readouterr().out
+
+    def test_serve_requires_drain(self, tmp_path, capsys):
+        assert main(["serve", "--queue-dir", str(tmp_path)]) == 2
+        assert "--drain" in capsys.readouterr().out
+
+    def test_serve_without_queue_fails(self, tmp_path, capsys):
+        code = main(["serve", "--drain", "--queue-dir", str(tmp_path)])
+        assert code == 1
+        assert "repro submit" in capsys.readouterr().out
+
+    def test_submit_then_drain(self, tmp_path, capsys):
+        self._submit(tmp_path, seed=0, priority=1)
+        self._submit(tmp_path, seed=1)
+        self._submit(tmp_path, seed=0)  # duplicate of the first
+        capsys.readouterr()
+        code = main([
+            "serve", "--drain", "--queue-dir", str(tmp_path),
+            "--workers", "2", "--no-placement",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        # Two distinct jobs ran; the duplicate folded onto the first.
+        assert "draining 2 job(s)" in out
+        assert out.count(" done ") >= 2
+        # Processed submissions leave the queue; results persist on disk.
+        assert (tmp_path / "queue.jsonl").read_text() == ""
+        assert len(list((tmp_path / "results").glob("*.pkl"))) == 2
+        # A re-drain after re-submitting is answered from the result store.
+        self._submit(tmp_path, seed=0)
+        capsys.readouterr()
+        code = main([
+            "serve", "--drain", "--queue-dir", str(tmp_path),
+            "--workers", "2", "--no-placement",
+        ])
+        assert code == 0
+        assert "1 answered from the result store" in capsys.readouterr().out

@@ -32,6 +32,7 @@ class TestSuiteRunner:
     def test_models_cached(self, runner):
         assert runner.model("votes") is runner.model("votes")
 
+    @pytest.mark.slow
     def test_runs_cached(self, runner):
         assert runner.run("votes") is runner.run("votes")
 
@@ -45,6 +46,7 @@ class TestSuiteRunner:
         quarter = runner.profile("votes", scale=0.25)
         assert quarter.modeled_data_bytes < full.modeled_data_bytes
 
+    @pytest.mark.slow
     def test_disk_cache_roundtrip(self, tmp_path):
         a = SuiteRunner(budget_fraction=0.08, seed=5, max_kept=60,
                         cache_dir=str(tmp_path))
@@ -55,6 +57,7 @@ class TestSuiteRunner:
         assert np.array_equal(run_a.chains[0].samples, run_b.chains[0].samples)
         assert any(tmp_path.iterdir())
 
+    @pytest.mark.slow
     def test_fitted_predictor_classifies_tickets(self, runner):
         predictor = runner.fitted_predictor()
         tickets = runner.profile("tickets")
@@ -63,6 +66,7 @@ class TestSuiteRunner:
         assert not predictor.predict_llc_bound(votes.modeled_data_bytes)
 
 
+@pytest.mark.slow
 class TestEvaluateOverall:
     def test_subset_evaluation(self, runner):
         rows = evaluate_overall(runner, names=["votes", "butterfly"])
@@ -92,3 +96,22 @@ class TestEvaluateOverall:
 
 def test_workload_names_complete():
     assert len(workload_names()) == 10
+
+
+class TestServeExecutor:
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            SuiteRunner(executor="async")
+
+    @pytest.mark.slow
+    def test_serve_executor_matches_sequential(self):
+        sequential = SuiteRunner(budget_fraction=0.08, seed=5, max_kept=60)
+        served = SuiteRunner(budget_fraction=0.08, seed=5, max_kept=60,
+                             executor="serve", serve_workers=4)
+        try:
+            a = sequential.run("votes")
+            b = served.run("votes")
+            for seq, par in zip(a.chains, b.chains):
+                np.testing.assert_array_equal(seq.samples, par.samples)
+        finally:
+            served.close()

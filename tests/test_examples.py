@@ -27,6 +27,7 @@ def test_examples_importable_with_main(name):
     assert callable(module.main)
 
 
+@pytest.mark.slow
 def test_quickstart_runs_end_to_end(capsys):
     module = load_example("quickstart")
     module.main()

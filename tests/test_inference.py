@@ -187,6 +187,7 @@ class TestMetropolisHastings:
 
 
 class TestHMC:
+    @pytest.mark.slow
     def test_recovers_correlated_gaussian(self):
         res = run_chains(
             CorrelatedNormal(), HMC(n_leapfrog=8), n_iterations=1500, n_chains=4,

@@ -1,0 +1,173 @@
+"""End-to-end service tests: submit → place → execute → elide → store.
+
+The elision case is calibrated: 12cities at scale 0.25 with a depth-6 NUTS,
+3 chains, seed 3, warmup 60 has online R-hat 1.52 at 40 kept draws and 1.09
+at 60 — so with the default 1.1 threshold the monitor stops the job at 60 of
+its 120-draw budget. The prefix assertion then pins the determinism story:
+per-iteration RNG sequencing means the elided result must be bit-identical
+to a sequential run that was *asked* for only 120 iterations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.inference import NUTS, run_chains
+from repro.serve import InferenceServer, JobSpec, JobState
+from repro.suite import load_workload
+
+ELIDING_SPEC = JobSpec(
+    workload="12cities",
+    engine="nuts",
+    n_iterations=180,
+    n_warmup=60,
+    n_chains=3,
+    seed=3,
+    scale=0.25,
+    priority=2,
+)
+
+FULL_BUDGET_SPEC = JobSpec(
+    workload="votes",
+    engine="mh",
+    n_iterations=120,
+    n_warmup=60,
+    n_chains=2,
+    seed=0,
+    elide=False,
+    priority=1,
+)
+
+BROKEN_SPEC = JobSpec(
+    workload="votes",
+    engine="mh",
+    n_iterations=40,
+    n_chains=2,
+    seed=9,
+    elide=False,
+    engine_options={"not_a_sampler_option": 1},
+)
+
+
+@pytest.fixture(scope="module")
+def drained_server():
+    """One server draining the three canonical jobs; shared by the tests."""
+    server = InferenceServer(n_workers=3, calibration_iterations=8)
+    try:
+        jobs = {
+            "elide": server.submit(ELIDING_SPEC),
+            "full": server.submit(FULL_BUDGET_SPEC),
+            "broken": server.submit(BROKEN_SPEC),
+        }
+        finished = server.run_until_drained()
+        yield server, jobs, finished
+    finally:
+        server.close()
+
+
+def test_drain_executes_all_jobs_in_priority_order(drained_server):
+    server, jobs, finished = drained_server
+    assert len(finished) == 3
+    assert [job.spec.priority for job in finished] == [2, 1, 0]
+    assert finished[0] is jobs["elide"]
+    assert server.queue.pop() is None
+
+
+def test_elided_job_stops_before_budget(drained_server):
+    _, jobs, _ = drained_server
+    job = jobs["elide"]
+    assert job.state is JobState.CONVERGED
+    summary = job.elision
+    assert summary.elided
+    assert summary.converged_kept == 60
+    assert summary.converged_kept < summary.budget_kept == 120
+    assert summary.iterations_saved_fraction == 0.5
+    # The monitor checked at 40 (not converged) then 60 (converged).
+    assert summary.checkpoints == [40, 60]
+    assert summary.rhat_trace[0] >= summary.rhat_threshold
+    assert summary.rhat_trace[-1] < summary.rhat_threshold
+    # The stored draws cover exactly warmup + converged iterations.
+    assert job.result.chains[0].n_iterations == 60 + 60
+
+
+def test_elided_draws_match_sequential_prefix(drained_server):
+    _, jobs, _ = drained_server
+    job = jobs["elide"]
+    spec = job.spec
+    total = spec.resolved_warmup + job.elision.converged_kept
+    sequential = run_chains(
+        load_workload(spec.workload, scale=spec.scale),
+        NUTS(max_tree_depth=6),
+        n_iterations=total,
+        n_warmup=spec.resolved_warmup,
+        n_chains=spec.n_chains,
+        seed=spec.seed,
+        initial_jitter=spec.initial_jitter,
+    )
+    for elided, seq in zip(job.result.chains, sequential.chains):
+        np.testing.assert_array_equal(elided.samples, seq.samples)
+        np.testing.assert_array_equal(elided.logps, seq.logps)
+
+
+def test_full_budget_job_runs_to_done(drained_server):
+    _, jobs, _ = drained_server
+    job = jobs["full"]
+    assert job.state is JobState.DONE
+    assert job.elision is None
+    assert job.result.chains[0].n_iterations == 120
+
+
+def test_placement_decisions_recorded(drained_server):
+    _, jobs, _ = drained_server
+    for name in ("elide", "full"):
+        placement = jobs[name].placement
+        assert placement is not None
+        assert placement.platform in ("Skylake", "Broadwell")
+        assert placement.predicted_mpki >= 0.0
+    # The first-placed job sees a one-point predictor (fallback rule); once
+    # a second workload is profiled the fitted predictor takes over.
+    assert not jobs["elide"].placement.predictor_fitted
+    assert jobs["full"].placement.predictor_fitted
+    assert jobs["full"].simulated_seconds > 0
+    assert jobs["full"].baseline_seconds > 0
+
+
+def test_broken_job_fails_cleanly_and_pool_survives(drained_server):
+    server, jobs, _ = drained_server
+    job = jobs["broken"]
+    assert job.state is JobState.FAILED
+    assert "not_a_sampler_option" in job.error
+    assert job.spec.key() not in server.store
+    # The failure did not wedge the pool: new work still executes.
+    fresh = server.submit("votes", engine="mh", n_iterations=30, n_chains=2,
+                          seed=11, elide=False)
+    drained = server.run_until_drained()
+    assert drained == [fresh]
+    assert fresh.state is JobState.DONE
+
+
+def test_repeat_submission_answers_from_store(drained_server):
+    server, jobs, _ = drained_server
+    repeat = server.submit(ELIDING_SPEC)
+    assert repeat.deduped
+    assert repeat.state is JobState.DONE
+    assert repeat.job_id != jobs["elide"].job_id
+    np.testing.assert_array_equal(
+        repeat.result.chains[0].samples,
+        jobs["elide"].result.chains[0].samples,
+    )
+    # Elision metadata rides along with the stored result.
+    assert repeat.elision.converged_kept == 60
+
+
+def test_queue_level_dedupe_folds_pending_duplicates():
+    with InferenceServer(n_workers=1, placement=False) as server:
+        first = server.submit(FULL_BUDGET_SPEC)
+        again = server.submit(FULL_BUDGET_SPEC)
+        assert again is first
+        assert len(server.queue) == 1
+
+
+def test_submit_rejects_unknown_workload():
+    with InferenceServer(n_workers=1, placement=False) as server:
+        with pytest.raises(KeyError, match="unknown workload"):
+            server.submit("not-a-workload")

@@ -114,6 +114,7 @@ class TestDataScaling:
             load_workload("ad", scale=1.5)
 
 
+@pytest.mark.slow
 class TestInferenceRecovery:
     """Short NUTS runs must move posteriors toward the generating truth.
 
