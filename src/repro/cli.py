@@ -110,6 +110,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-placement", action="store_true",
                        help="skip profiling and predictor-driven placement")
     serve.add_argument("--calibration-iterations", type=int, default=30)
+    serve.add_argument("--max-attempts", type=int, default=3,
+                       help="execution attempts per job before it is "
+                            "quarantined as failed")
     return parser
 
 
@@ -238,9 +241,7 @@ def _queue_file(queue_dir: str):
 
 
 def cmd_submit(args) -> int:
-    import json
-
-    from repro.serve import JobSpec
+    from repro.serve import FileJobQueue, JobSpec
 
     spec = JobSpec(
         workload=args.workload,
@@ -258,17 +259,15 @@ def cmd_submit(args) -> int:
         checkpoint_interval=args.checkpoint_every,
     )
     path = _queue_file(args.queue_dir)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("a") as handle:
-        handle.write(json.dumps(spec.to_dict()) + "\n")
+    FileJobQueue(path).submit(spec)
     print(f"queued {spec.workload} (key {spec.key()}) in {path}")
     return 0
 
 
 def cmd_serve(args) -> int:
-    import json
-
-    from repro.serve import InferenceServer, JobState, ResultStore
+    from repro.serve import (
+        FileJobQueue, InferenceServer, JobState, ResultStore, RetryPolicy,
+    )
 
     if not args.drain:
         print("repro serve currently supports --drain only "
@@ -279,25 +278,49 @@ def cmd_serve(args) -> int:
     if not path.exists():
         print(f"no submit queue at {path}; use `repro submit` first")
         return 1
-    from repro.serve import JobSpec
 
-    specs = [
-        JobSpec.from_dict(json.loads(line))
-        for line in path.read_text().splitlines() if line.strip()
-    ]
-    if not specs:
+    file_queue = FileJobQueue(path)
+    recovery = file_queue.load()
+    entries = recovery.entries
+    if recovery.orphaned:
+        print(f"recovering {len(recovery.orphaned)} job(s) a previous "
+              f"server started but never finished")
+    if not entries:
         print("submit queue is empty")
         return 0
 
     store = ResultStore(directory=str(path.parent / "results"))
+    # A job can cover several queue entries (duplicate submissions fold).
+    entries_by_job: dict = {}
+
+    def on_job_start(job) -> None:
+        for entry_id in entries_by_job.get(job.job_id, ()):
+            file_queue.mark_running(entry_id)
+
+    def on_job_finish(job) -> None:
+        if not job.state.terminal:
+            return  # RETRYING: the entry is still in flight
+        for entry_id in entries_by_job.get(job.job_id, ()):
+            file_queue.mark_finished(entry_id, state=job.state.value)
+
     with InferenceServer(
         n_workers=args.workers,
         store=store,
         checkpoint_dir=str(path.parent / "checkpoints"),
         placement=not args.no_placement,
         calibration_iterations=args.calibration_iterations,
+        retry_policy=RetryPolicy(max_attempts=args.max_attempts),
+        on_job_start=on_job_start,
+        on_job_finish=on_job_finish,
     ) as server:
-        jobs = [server.submit(spec) for spec in specs]
+        jobs = []
+        for entry in entries:
+            job = server.submit(entry.spec)
+            jobs.append(job)
+            entries_by_job.setdefault(job.job_id, []).append(entry.entry_id)
+            if job.state is not JobState.QUEUED:
+                # Answered from the store without running.
+                file_queue.mark_finished(entry.entry_id, state=job.state.value)
         queued = {job.job_id for job in jobs if job.state is JobState.QUEUED}
         print(f"draining {len(queued)} job(s) "
               f"({len(jobs) - len(queued)} answered from the result store)")
@@ -321,10 +344,10 @@ def cmd_serve(args) -> int:
                   f"{job.state.value:<10s} {platform:<10s} {kept:>9s} "
                   f"{saved:>7s}")
             if job.error:
-                print(f"  error: {job.error.splitlines()[-1]}")
+                print(f"  error: {job.error.rstrip().splitlines()[-1]}")
 
     # Processed submissions leave the queue; results stay in the store.
-    path.write_text("")
+    file_queue.truncate()
     print(f"results stored in {path.parent / 'results'}")
     return 1 if failed else 0
 

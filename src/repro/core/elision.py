@@ -50,6 +50,10 @@ class OnlineRhat:
     def update(self, chain: int, draw: np.ndarray) -> None:
         self._draws[chain].append(np.asarray(draw, dtype=float))
 
+    def reset_chain(self, chain: int) -> None:
+        """Drop one chain's draws (it is about to be re-fed from scratch)."""
+        self._draws[chain] = []
+
     @property
     def n_draws(self) -> int:
         return min(len(d) for d in self._draws)

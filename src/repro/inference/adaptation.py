@@ -55,6 +55,35 @@ class DualAveraging:
         """Smoothed step size to freeze after warmup."""
         return float(np.exp(self.log_step_bar))
 
+    def state_dict(self) -> dict:
+        """Plain-data snapshot for deterministic chain resume."""
+        return {
+            "initial_step_size": self.initial_step_size,
+            "target": self.target,
+            "gamma": self.gamma,
+            "t0": self.t0,
+            "kappa": self.kappa,
+            "mu": self.mu,
+            "log_step": self.log_step,
+            "log_step_bar": self.log_step_bar,
+            "h_bar": self.h_bar,
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "DualAveraging":
+        adapter = cls(
+            float(state["initial_step_size"]), target=float(state["target"]),
+            gamma=float(state["gamma"]), t0=float(state["t0"]),
+            kappa=float(state["kappa"]),
+        )
+        adapter.mu = float(state["mu"])
+        adapter.log_step = float(state["log_step"])
+        adapter.log_step_bar = float(state["log_step_bar"])
+        adapter.h_bar = float(state["h_bar"])
+        adapter.count = int(state["count"])
+        return adapter
+
 
 class WelfordVariance:
     """Online mean/variance estimator for diagonal mass adaptation."""
@@ -86,6 +115,23 @@ class WelfordVariance:
         self.count = 0
         self.mean[:] = 0.0
         self.m2[:] = 0.0
+
+    def state_dict(self) -> dict:
+        """Plain-data snapshot for deterministic chain resume."""
+        return {
+            "dim": self.dim,
+            "count": self.count,
+            "mean": self.mean.copy(),
+            "m2": self.m2.copy(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "WelfordVariance":
+        welford = cls(int(state["dim"]))
+        welford.count = int(state["count"])
+        welford.mean = np.array(state["mean"], dtype=float)
+        welford.m2 = np.array(state["m2"], dtype=float)
+        return welford
 
 
 def find_reasonable_step_size(logp_and_grad, x0: np.ndarray, rng: np.random.Generator,

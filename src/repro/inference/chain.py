@@ -39,6 +39,40 @@ def chain_start(
     return rng, x0
 
 
+def restore_sampler_prefix(
+    resume_state: dict,
+    engine: str,
+    rng: np.random.Generator,
+    **arrays: np.ndarray,
+) -> int:
+    """Restore the engine-independent part of a sampler state snapshot.
+
+    Copies the snapshot's per-iteration output prefixes (``samples``,
+    ``logps``, ``work``, …) into the sampler's freshly allocated arrays,
+    restores the RNG bit-generator state, and returns the iteration to
+    resume at — one past the snapshot's last completed iteration. Raises
+    ``ValueError`` when the snapshot does not fit the run it is being fed
+    into (wrong engine, or a prefix longer than the requested budget), so a
+    caller can fall back to a fresh start instead of resuming wrongly.
+    """
+    snapshot_engine = resume_state.get("engine")
+    if snapshot_engine != engine:
+        raise ValueError(
+            f"snapshot was taken by engine {snapshot_engine!r}, not {engine!r}"
+        )
+    start = int(resume_state["t"]) + 1
+    for name, dest in arrays.items():
+        src = np.asarray(resume_state[name])
+        if start > dest.shape[0] or src.shape[0] < start:
+            raise ValueError(
+                f"snapshot prefix {name!r} ({src.shape[0]} iterations) does "
+                f"not cover a resume at iteration {start} of {dest.shape[0]}"
+            )
+        dest[:start] = src[:start]
+    rng.bit_generator.state = resume_state["rng"]
+    return start
+
+
 def run_chains(
     model,
     sampler,

@@ -18,7 +18,8 @@ from repro.inference.adaptation import (
     WelfordVariance,
     find_reasonable_step_size,
 )
-from repro.inference.results import ChainResult, IterationHook
+from repro.inference.chain import restore_sampler_prefix
+from repro.inference.results import ChainResult, IterationHook, StateCapture
 
 LogpGrad = Callable[[np.ndarray], Tuple[float, np.ndarray]]
 
@@ -65,27 +66,65 @@ class HMC:
         rng: np.random.Generator,
         n_warmup: int | None = None,
         iteration_hook: IterationHook = None,
+        state_capture: StateCapture | None = None,
+        resume_state: dict | None = None,
     ) -> ChainResult:
         if n_warmup is None:
             n_warmup = n_iterations // 2
         dim = x0.shape[0]
-        inv_mass = np.ones(dim)
         logp_and_grad = model.logp_and_grad
-
-        step = find_reasonable_step_size(logp_and_grad, x0, rng, inv_mass)
-        adapter = DualAveraging(step, target=self.target_accept)
-        welford = WelfordVariance(dim)
 
         samples = np.empty((n_iterations, dim))
         logps = np.empty(n_iterations)
         work = np.zeros(n_iterations)
 
-        x = np.asarray(x0, dtype=float).copy()
-        logp, grad = logp_and_grad(x)
-        accepts = 0
-        divergences = 0
+        if resume_state is not None:
+            start = restore_sampler_prefix(
+                resume_state, "hmc", rng,
+                samples=samples, logps=logps, work=work,
+            )
+            x = np.array(resume_state["x"], dtype=float)
+            logp = float(resume_state["logp"])
+            grad = np.array(resume_state["grad"], dtype=float)
+            inv_mass = np.array(resume_state["inv_mass"], dtype=float)
+            step = float(resume_state["step"])
+            adapter = DualAveraging.from_state(resume_state["adapter"])
+            welford = WelfordVariance.from_state(resume_state["welford"])
+            accepts = int(resume_state["accepts"])
+            divergences = int(resume_state["divergences"])
+        else:
+            start = 0
+            inv_mass = np.ones(dim)
+            step = find_reasonable_step_size(logp_and_grad, x0, rng, inv_mass)
+            adapter = DualAveraging(step, target=self.target_accept)
+            welford = WelfordVariance(dim)
+            x = np.asarray(x0, dtype=float).copy()
+            logp, grad = logp_and_grad(x)
+            accepts = 0
+            divergences = 0
 
-        for t in range(n_iterations):
+        if state_capture is not None:
+            def snapshot() -> dict:
+                return {
+                    "engine": "hmc",
+                    "t": t,
+                    "samples": samples[:t + 1].copy(),
+                    "logps": logps[:t + 1].copy(),
+                    "work": work[:t + 1].copy(),
+                    "x": x.copy(),
+                    "logp": logp,
+                    "grad": grad.copy(),
+                    "rng": rng.bit_generator.state,
+                    "step": step,
+                    "inv_mass": inv_mass.copy(),
+                    "adapter": adapter.state_dict(),
+                    "welford": welford.state_dict(),
+                    "accepts": accepts,
+                    "divergences": divergences,
+                }
+            state_capture.bind(snapshot)
+
+        for t in range(start, n_iterations):
             momentum = rng.normal(size=dim) / np.sqrt(inv_mass)
             joint0 = logp - kinetic_energy(momentum, inv_mass)
 

@@ -11,7 +11,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.inference.results import ChainResult, IterationHook
+from repro.inference.chain import restore_sampler_prefix
+from repro.inference.results import ChainResult, IterationHook, StateCapture
 
 
 @dataclass
@@ -30,21 +31,50 @@ class MetropolisHastings:
         rng: np.random.Generator,
         n_warmup: int | None = None,
         iteration_hook: IterationHook = None,
+        state_capture: StateCapture | None = None,
+        resume_state: dict | None = None,
     ) -> ChainResult:
         if n_warmup is None:
             n_warmup = n_iterations // 2
         dim = x0.shape[0]
-        scale = self.proposal_scale
 
         samples = np.empty((n_iterations, dim))
         logps = np.empty(n_iterations)
         work = np.ones(n_iterations)  # one density evaluation per iteration
 
-        x = np.asarray(x0, dtype=float).copy()
-        logp = model.logp(x)
-        accepts = 0
+        if resume_state is not None:
+            start = restore_sampler_prefix(
+                resume_state, "mh", rng,
+                samples=samples, logps=logps,
+            )
+            x = np.array(resume_state["x"], dtype=float)
+            logp = float(resume_state["logp"])
+            scale = float(resume_state["scale"])
+            accepts = int(resume_state["accepts"])
+        else:
+            start = 0
+            scale = self.proposal_scale
+            x = np.asarray(x0, dtype=float).copy()
+            logp = model.logp(x)
+            accepts = 0
 
-        for t in range(n_iterations):
+        if state_capture is not None:
+            def snapshot() -> dict:
+                return {
+                    "engine": "mh",
+                    "t": t,
+                    "samples": samples[:t + 1].copy(),
+                    "logps": logps[:t + 1].copy(),
+                    "work": work[:t + 1].copy(),
+                    "x": x.copy(),
+                    "logp": logp,
+                    "rng": rng.bit_generator.state,
+                    "scale": scale,
+                    "accepts": accepts,
+                }
+            state_capture.bind(snapshot)
+
+        for t in range(start, n_iterations):
             # Line 4 of Algorithm 1: draw from the proposal density q.
             proposal = x + scale * rng.normal(size=dim)
             logp_prop = model.logp(proposal)

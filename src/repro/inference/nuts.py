@@ -25,8 +25,9 @@ from repro.inference.adaptation import (
     WelfordVariance,
     find_reasonable_step_size,
 )
+from repro.inference.chain import restore_sampler_prefix
 from repro.inference.hmc import kinetic_energy, leapfrog
-from repro.inference.results import ChainResult, IterationHook
+from repro.inference.results import ChainResult, IterationHook, StateCapture
 
 LogpGrad = Callable[[np.ndarray], Tuple[float, np.ndarray]]
 
@@ -81,28 +82,68 @@ class NUTS:
         rng: np.random.Generator,
         n_warmup: int | None = None,
         iteration_hook: IterationHook = None,
+        state_capture: StateCapture | None = None,
+        resume_state: dict | None = None,
     ) -> ChainResult:
         if n_warmup is None:
             n_warmup = n_iterations // 2
         dim = x0.shape[0]
-        inv_mass = np.ones(dim)
         logp_and_grad = model.logp_and_grad
-
-        step = find_reasonable_step_size(logp_and_grad, x0, rng, inv_mass)
-        adapter = DualAveraging(step, target=self.target_accept)
-        welford = WelfordVariance(dim)
 
         samples = np.empty((n_iterations, dim))
         logps = np.empty(n_iterations)
         work = np.zeros(n_iterations)
         depths = np.zeros(n_iterations, dtype=int)
 
-        x = np.asarray(x0, dtype=float).copy()
-        logp, grad = logp_and_grad(x)
-        divergences = 0
-        accept_stat_total = 0.0
+        if resume_state is not None:
+            start = restore_sampler_prefix(
+                resume_state, "nuts", rng,
+                samples=samples, logps=logps, work=work,
+                tree_depths=depths,
+            )
+            x = np.array(resume_state["x"], dtype=float)
+            logp = float(resume_state["logp"])
+            grad = np.array(resume_state["grad"], dtype=float)
+            inv_mass = np.array(resume_state["inv_mass"], dtype=float)
+            step = float(resume_state["step"])
+            adapter = DualAveraging.from_state(resume_state["adapter"])
+            welford = WelfordVariance.from_state(resume_state["welford"])
+            divergences = int(resume_state["divergences"])
+            accept_stat_total = float(resume_state["accept_stat_total"])
+        else:
+            start = 0
+            inv_mass = np.ones(dim)
+            step = find_reasonable_step_size(logp_and_grad, x0, rng, inv_mass)
+            adapter = DualAveraging(step, target=self.target_accept)
+            welford = WelfordVariance(dim)
+            x = np.asarray(x0, dtype=float).copy()
+            logp, grad = logp_and_grad(x)
+            divergences = 0
+            accept_stat_total = 0.0
 
-        for t in range(n_iterations):
+        if state_capture is not None:
+            def snapshot() -> dict:
+                return {
+                    "engine": "nuts",
+                    "t": t,
+                    "samples": samples[:t + 1].copy(),
+                    "logps": logps[:t + 1].copy(),
+                    "work": work[:t + 1].copy(),
+                    "tree_depths": depths[:t + 1].copy(),
+                    "x": x.copy(),
+                    "logp": logp,
+                    "grad": grad.copy(),
+                    "rng": rng.bit_generator.state,
+                    "step": step,
+                    "inv_mass": inv_mass.copy(),
+                    "adapter": adapter.state_dict(),
+                    "welford": welford.state_dict(),
+                    "divergences": divergences,
+                    "accept_stat_total": accept_stat_total,
+                }
+            state_capture.bind(snapshot)
+
+        for t in range(start, n_iterations):
             momentum = rng.normal(size=dim) / np.sqrt(inv_mass)
             joint0 = logp - kinetic_energy(momentum, inv_mass)
             # Slice variable in log space: log u = joint0 + log(uniform).

@@ -16,6 +16,37 @@ import numpy as np
 IterationHook = Optional[Callable[[int, np.ndarray], bool]]
 
 
+class StateCapture:
+    """Executor-side handle for pulling resumable sampler state mid-run.
+
+    An executor passes an instance to ``sample_chain``; the sampler binds a
+    zero-argument closure over its loop state at loop entry. Calling the
+    handle from inside an ``iteration_hook`` then returns a plain-data
+    snapshot of everything needed to continue the chain from the *next*
+    iteration: position, cached log-density/gradient, the RNG bit-generator
+    state, adaptation state, and the per-iteration output arrays so far.
+    Feeding that snapshot back through ``sample_chain(..., resume_state=...)``
+    yields a chain bit-identical to the uninterrupted run — the extension of
+    the prefix-determinism guarantee that :mod:`repro.serve` builds chain
+    resume on.
+    """
+
+    def __init__(self) -> None:
+        self._capture: Optional[Callable[[], dict]] = None
+
+    def bind(self, capture: Callable[[], dict]) -> None:
+        self._capture = capture
+
+    @property
+    def bound(self) -> bool:
+        return self._capture is not None
+
+    def __call__(self) -> dict:
+        if self._capture is None:
+            raise RuntimeError("no sampler has bound this StateCapture yet")
+        return self._capture()
+
+
 @dataclass
 class ChainResult:
     """Output of one Markov chain.

@@ -15,7 +15,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.inference.results import ChainResult, IterationHook
+from repro.inference.chain import restore_sampler_prefix
+from repro.inference.results import ChainResult, IterationHook, StateCapture
 
 
 @dataclass
@@ -34,21 +35,48 @@ class SliceSampler:
         rng: np.random.Generator,
         n_warmup: int | None = None,
         iteration_hook: IterationHook = None,
+        state_capture: StateCapture | None = None,
+        resume_state: dict | None = None,
     ) -> ChainResult:
         if n_warmup is None:
             n_warmup = n_iterations // 2
         dim = x0.shape[0]
-        widths = np.full(dim, self.initial_width)
 
         samples = np.empty((n_iterations, dim))
         logps = np.empty(n_iterations)
         work = np.zeros(n_iterations)
 
-        x = np.asarray(x0, dtype=float).copy()
-        logp = model.logp(x)
+        if resume_state is not None:
+            start = restore_sampler_prefix(
+                resume_state, "slice", rng,
+                samples=samples, logps=logps, work=work,
+            )
+            x = np.array(resume_state["x"], dtype=float)
+            logp = float(resume_state["logp"])
+            widths = np.array(resume_state["widths"], dtype=float)
+        else:
+            start = 0
+            widths = np.full(dim, self.initial_width)
+            x = np.asarray(x0, dtype=float).copy()
+            logp = model.logp(x)
         evals = 0
 
-        for t in range(n_iterations):
+        if state_capture is not None:
+            def snapshot() -> dict:
+                return {
+                    "engine": "slice",
+                    "t": t,
+                    "samples": samples[:t + 1].copy(),
+                    "logps": logps[:t + 1].copy(),
+                    "work": work[:t + 1].copy(),
+                    "x": x.copy(),
+                    "logp": logp,
+                    "rng": rng.bit_generator.state,
+                    "widths": widths.copy(),
+                }
+            state_capture.bind(snapshot)
+
+        for t in range(start, n_iterations):
             iteration_evals = 0
             for k in range(dim):
                 # Slice level in log space.

@@ -11,9 +11,16 @@ schedulable, interruptible, resumable job service:
   (bit-identical to the sequential driver by seeded RNG streams);
 * :mod:`repro.serve.monitor` — online Gelman-Rubin monitoring for mid-run
   computation elision;
-* :mod:`repro.serve.checkpoint` — periodic per-chain draw snapshots;
+* :mod:`repro.serve.checkpoint` — periodic per-chain sampler-state
+  snapshots, the substrate of deterministic chain resume;
 * :mod:`repro.serve.store` — the deduplicating result store;
-* :mod:`repro.serve.server` — :class:`InferenceServer`, the orchestrator.
+* :mod:`repro.serve.server` — :class:`InferenceServer`, the orchestrator,
+  with a :class:`RetryPolicy` that distinguishes transient worker loss from
+  deterministic poison failures;
+* :mod:`repro.serve.filequeue` — the durable JSONL submit queue behind the
+  CLI, with crash recovery of interrupted jobs;
+* :mod:`repro.serve.faults` — scripted fault injection (worker kills, NaN
+  log-densities, hangs) for rehearsing the failure paths.
 
 Quick start::
 
@@ -26,16 +33,18 @@ Quick start::
             print(job.state, job.placement, job.elision)
 """
 
-from repro.serve.checkpoint import CheckpointStore
+from repro.serve.checkpoint import CHECKPOINT_VERSION, CheckpointStore
+from repro.serve.filequeue import FileJobQueue, QueueEntry, QueueRecovery
 from repro.serve.job import ElisionSummary, Job, JobSpec, JobState, Placement
 from repro.serve.monitor import ConvergenceMonitor
 from repro.serve.queue import AdmissionError, JobQueue
-from repro.serve.server import InferenceServer
+from repro.serve.server import InferenceServer, RetryPolicy, classify_failure
 from repro.serve.store import ResultStore, StoredResult
 from repro.serve.workers import (
     ChainExecutionError,
     ChainTask,
     ChainWorkerPool,
+    PoisonChainError,
     chain_tasks,
     execute_chain,
     parallel_run_chains,
@@ -44,21 +53,28 @@ from repro.serve.workers import (
 
 __all__ = [
     "AdmissionError",
+    "CHECKPOINT_VERSION",
     "ChainExecutionError",
     "ChainTask",
     "ChainWorkerPool",
     "CheckpointStore",
     "ConvergenceMonitor",
     "ElisionSummary",
+    "FileJobQueue",
     "InferenceServer",
     "Job",
     "JobQueue",
     "JobSpec",
     "JobState",
     "Placement",
+    "PoisonChainError",
+    "QueueEntry",
+    "QueueRecovery",
     "ResultStore",
+    "RetryPolicy",
     "StoredResult",
     "chain_tasks",
+    "classify_failure",
     "execute_chain",
     "parallel_run_chains",
     "truncate_chain",

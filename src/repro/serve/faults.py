@@ -1,0 +1,235 @@
+"""Fault injection for exercising the serving layer's failure paths.
+
+Real worker crashes are timing-dependent and hard to script; this module
+makes them deterministic. A *fault plan* is a JSON file listing faults, each
+targeting one ``(job, chain)`` at one iteration:
+
+* ``kill`` — SIGKILL the worker process at iteration ``k`` (simulates an OOM
+  kill or hardware loss; nothing is flushed, queues may lose buffered
+  events);
+* ``raise`` — raise :class:`InjectedFaultError` inside the chain (an
+  in-chain software bug — deterministic, therefore classified as poison by
+  the server's retry policy);
+* ``hang`` — sleep inside the iteration hook (a stuck worker, detected by
+  heartbeat timeout rather than process death);
+* ``nan_logp`` — wrap the model so ``logp``/``logp_and_grad`` return NaN
+  from iteration ``k`` on (numerical poison; ``k = -1`` poisons the very
+  first evaluation, before the loop starts).
+
+The plan's path travels to workers through the ``REPRO_SERVE_FAULTS``
+environment variable, which both ``fork`` and ``spawn`` children inherit.
+One-shot faults (kill/raise/hang) must fire exactly once *across processes*
+— a respawned worker re-running the same chain task must not re-trip the
+fault, or nothing would ever recover. Cross-process once-semantics use
+``O_CREAT | O_EXCL`` sentinel files next to the plan: whichever process
+creates the sentinel first owns the firing.
+
+This module is test infrastructure, but it ships in the package (not the
+test tree) so operators can rehearse failure handling against a live
+service the same way the test suite does.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+#: Environment variable carrying the fault-plan path into workers.
+ENV_VAR = "REPRO_SERVE_FAULTS"
+
+FAULT_KINDS = ("kill", "raise", "hang", "nan_logp")
+
+
+class InjectedFaultError(RuntimeError):
+    """Raised inside a chain by a ``raise`` fault."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scripted failure."""
+
+    kind: str
+    #: Iteration at which to fire (0-based, warmup included). ``-1`` with
+    #: ``nan_logp`` poisons the initial density evaluation.
+    iteration: int
+    #: Restrict to one job id (None matches every job).
+    job_id: Optional[str] = None
+    #: Restrict to one chain (None matches every chain).
+    chain_index: Optional[int] = None
+    #: ``hang`` only: how long to sleep.
+    seconds: float = 3600.0
+    #: Fire at most this many times across all processes (``nan_logp`` is
+    #: persistent and ignores this).
+    max_fires: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; one of {FAULT_KINDS}"
+            )
+
+    def matches(self, job_id: str, chain_index: int) -> bool:
+        return (self.job_id is None or self.job_id == job_id) and (
+            self.chain_index is None or self.chain_index == chain_index
+        )
+
+
+class _IterationClock:
+    """Tracks the chain's current iteration for the poisoned-model proxy.
+
+    Starts at ``-1`` (the pre-loop initial evaluation) and is advanced by
+    the injector's per-iteration hook.
+    """
+
+    def __init__(self) -> None:
+        self.t = -1
+
+
+class _PoisonedModel:
+    """Model proxy returning NaN log-densities once the fault is active."""
+
+    def __init__(self, model, clock: _IterationClock, start_iteration: int) -> None:
+        self._model = model
+        self._clock = clock
+        self._start = start_iteration
+
+    def __getattr__(self, name):
+        return getattr(self._model, name)
+
+    @property
+    def _active(self) -> bool:
+        return self._clock.t >= self._start
+
+    def logp(self, x):
+        value = self._model.logp(x)
+        return float("nan") if self._active else value
+
+    def logp_and_grad(self, x):
+        logp, grad = self._model.logp_and_grad(x)
+        if self._active:
+            return float("nan"), np.full_like(np.asarray(grad, dtype=float), np.nan)
+        return logp, grad
+
+
+class FaultInjector:
+    """Evaluates a fault plan inside one worker process."""
+
+    def __init__(self, faults: List[Fault], plan_path: Optional[str] = None) -> None:
+        self.faults = faults
+        self.plan_path = plan_path
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultInjector"]:
+        """The injector described by ``REPRO_SERVE_FAULTS``, if any."""
+        plan_path = os.environ.get(ENV_VAR)
+        if not plan_path:
+            return None
+        try:
+            return cls(read_plan(plan_path), plan_path)
+        except (OSError, ValueError, json.JSONDecodeError):
+            # A vanished or malformed plan disables injection rather than
+            # failing chains for a reason unrelated to the experiment.
+            return None
+
+    # -- cross-process once-semantics -----------------------------------------
+
+    def _claim(self, index: int, fault: Fault) -> bool:
+        """Atomically claim one firing of fault ``index``; False when spent."""
+        if self.plan_path is None:
+            return True
+        for n in range(fault.max_fires):
+            sentinel = f"{self.plan_path}.fired-{index}-{n}"
+            try:
+                fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.close(fd)
+            return True
+        return False
+
+    # -- injection points ------------------------------------------------------
+
+    def wrap_model(self, model, job_id: str, chain_index: int, clock: _IterationClock):
+        """Apply any matching ``nan_logp`` fault to the model."""
+        for fault in self.faults:
+            if fault.kind == "nan_logp" and fault.matches(job_id, chain_index):
+                return _PoisonedModel(model, clock, fault.iteration)
+        return model
+
+    def on_iteration(self, job_id: str, chain_index: int, t: int) -> None:
+        """Fire any one-shot fault scheduled for iteration ``t``."""
+        for index, fault in enumerate(self.faults):
+            if fault.kind == "nan_logp":
+                continue
+            if fault.iteration != t or not fault.matches(job_id, chain_index):
+                continue
+            if not self._claim(index, fault):
+                continue
+            if fault.kind == "kill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            elif fault.kind == "raise":
+                raise InjectedFaultError(
+                    f"injected fault: job {job_id} chain {chain_index} "
+                    f"iteration {t}"
+                )
+            elif fault.kind == "hang":
+                time.sleep(fault.seconds)
+
+
+# -- plan files ----------------------------------------------------------------
+
+
+def write_plan(path: str, faults: List[Fault]) -> str:
+    """Serialize a fault plan; returns the path for convenience."""
+    payload = [
+        {
+            "kind": f.kind,
+            "iteration": f.iteration,
+            "job_id": f.job_id,
+            "chain_index": f.chain_index,
+            "seconds": f.seconds,
+            "max_fires": f.max_fires,
+        }
+        for f in faults
+    ]
+    Path(path).write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def read_plan(path: str) -> List[Fault]:
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, list):
+        raise ValueError(f"fault plan {path} must be a JSON list")
+    return [Fault(**entry) for entry in payload]
+
+
+@contextmanager
+def installed(path: str) -> Iterator[str]:
+    """Point ``REPRO_SERVE_FAULTS`` at ``path`` for the duration.
+
+    Must wrap worker-pool *startup*: workers read their own (inherited)
+    environment, so the variable has to be set before the processes fork.
+    """
+    previous = os.environ.get(ENV_VAR)
+    os.environ[ENV_VAR] = str(path)
+    try:
+        yield str(path)
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = previous
+
+
+def corrupt_file(path: str, keep_bytes: int = 64) -> None:
+    """Truncate a file to its first ``keep_bytes`` bytes (torn-write model)."""
+    data = Path(path).read_bytes()
+    Path(path).write_bytes(data[:keep_bytes])

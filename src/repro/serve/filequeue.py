@@ -1,0 +1,154 @@
+"""Durable submit queue with crash recovery for the CLI service.
+
+``repro submit`` and ``repro serve`` run in different processes at different
+times, so the hand-off lives on disk: one append-only JSONL event log per
+queue directory. Each line is an operation::
+
+    {"op": "submit",   "id": "<entry>", "spec": {...}}
+    {"op": "running",  "id": "<entry>"}
+    {"op": "finished", "id": "<entry>", "state": "done"}
+
+Replaying the log classifies every entry: *finished* entries are dropped,
+*submitted-never-started* entries are pending, and *running-but-never-
+finished* entries are **orphans** — a previous ``repro serve`` process died
+mid-job. Because execution is deterministic and results are keyed by spec,
+re-running an orphan is always safe: it either re-computes the identical
+result or is answered from the store if the crash happened after the result
+landed.
+
+Legacy queues (bare spec dicts, one per line, from earlier releases) load
+as pending entries.
+
+The log is append-only while a server drains, so a crash at any point
+leaves a replayable record; ``truncate`` clears it once every entry has
+reached a terminal state.
+"""
+
+from __future__ import annotations
+
+import json
+import uuid
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List
+
+from repro.serve.job import JobSpec
+
+
+@dataclass(frozen=True)
+class QueueEntry:
+    """One recovered submission."""
+
+    entry_id: str
+    spec: JobSpec
+    #: True when a previous server started this entry but never finished it.
+    orphaned: bool = False
+
+
+@dataclass
+class QueueRecovery:
+    """What replaying the log found."""
+
+    #: Submitted but never started, in submission order.
+    pending: List[QueueEntry] = field(default_factory=list)
+    #: Started by a server that never marked them finished (crash/kill).
+    orphaned: List[QueueEntry] = field(default_factory=list)
+
+    @property
+    def entries(self) -> List[QueueEntry]:
+        """Everything that still needs running: orphans first (they were
+        admitted earlier), then pending submissions."""
+        return self.orphaned + self.pending
+
+
+class FileJobQueue:
+    """Append-only JSONL submit queue shared by ``submit`` and ``serve``."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    def _append(self, record: Dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(record) + "\n")
+
+    # -- producer side (repro submit) ------------------------------------------
+
+    def submit(self, spec: JobSpec) -> str:
+        """Record one submission; returns its entry id."""
+        entry_id = uuid.uuid4().hex[:12]
+        self._append({"op": "submit", "id": entry_id, "spec": spec.to_dict()})
+        return entry_id
+
+    # -- consumer side (repro serve) -------------------------------------------
+
+    def mark_running(self, entry_id: str) -> None:
+        self._append({"op": "running", "id": entry_id})
+
+    def mark_finished(self, entry_id: str, state: str = "done") -> None:
+        self._append({"op": "finished", "id": entry_id, "state": state})
+
+    def load(self) -> QueueRecovery:
+        """Replay the log into pending and orphaned entries.
+
+        Unparseable lines (torn writes from a crash mid-append) and specs
+        that no longer validate are skipped with a warning rather than
+        blocking the rest of the queue.
+        """
+        recovery = QueueRecovery()
+        if not self.path.exists():
+            return recovery
+        specs: Dict[str, JobSpec] = {}
+        order: List[str] = []
+        started: Dict[str, bool] = {}
+        finished: Dict[str, bool] = {}
+        for lineno, line in enumerate(self.path.read_text().splitlines(), 1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                warnings.warn(
+                    f"{self.path}:{lineno}: skipping unparseable queue "
+                    f"line ({exc})",
+                    RuntimeWarning,
+                )
+                continue
+            try:
+                if "op" not in record:
+                    # Legacy format: the line *is* the spec.
+                    entry_id = f"legacy-{lineno}"
+                    specs[entry_id] = JobSpec.from_dict(record)
+                    order.append(entry_id)
+                elif record["op"] == "submit":
+                    entry_id = record["id"]
+                    specs[entry_id] = JobSpec.from_dict(record["spec"])
+                    order.append(entry_id)
+                elif record["op"] == "running":
+                    started[record["id"]] = True
+                elif record["op"] == "finished":
+                    finished[record["id"]] = True
+            except (KeyError, TypeError, ValueError) as exc:
+                warnings.warn(
+                    f"{self.path}:{lineno}: skipping invalid queue "
+                    f"record ({exc})",
+                    RuntimeWarning,
+                )
+        for entry_id in order:
+            if finished.get(entry_id):
+                continue
+            entry = QueueEntry(
+                entry_id=entry_id,
+                spec=specs[entry_id],
+                orphaned=bool(started.get(entry_id)),
+            )
+            (recovery.orphaned if entry.orphaned else recovery.pending).append(
+                entry
+            )
+        return recovery
+
+    def truncate(self) -> None:
+        """Clear the log (every entry has reached a terminal state)."""
+        if self.path.exists():
+            self.path.write_text("")

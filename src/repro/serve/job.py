@@ -8,7 +8,8 @@ specs with the same key are guaranteed to produce bit-identical draws, so the
 service never runs the same work twice.
 
 A :class:`Job` wraps a spec with service state: the QUEUED → RUNNING →
-{CONVERGED, DONE, FAILED} lifecycle, the placement decision, and the
+{CONVERGED, DONE, FAILED} lifecycle (with a RUNNING ⇄ RETRYING loop while
+the retry policy has attempts left), the placement decision, and the
 execution outcome.
 """
 
@@ -35,6 +36,8 @@ class JobState(str, Enum):
     #: Ran its full budget (or was answered from the result store).
     DONE = "done"
     FAILED = "failed"
+    #: Failed an attempt; waiting out its backoff before running again.
+    RETRYING = "retrying"
 
     @property
     def terminal(self) -> bool:
@@ -43,7 +46,10 @@ class JobState(str, Enum):
 
 _TRANSITIONS = {
     JobState.QUEUED: {JobState.RUNNING, JobState.DONE, JobState.FAILED},
-    JobState.RUNNING: {JobState.CONVERGED, JobState.DONE, JobState.FAILED},
+    JobState.RUNNING: {
+        JobState.CONVERGED, JobState.DONE, JobState.FAILED, JobState.RETRYING,
+    },
+    JobState.RETRYING: {JobState.RUNNING, JobState.FAILED},
     JobState.CONVERGED: set(),
     JobState.DONE: set(),
     JobState.FAILED: set(),
@@ -190,6 +196,13 @@ class Job:
         self.baseline_seconds: Optional[float] = None
         #: True when the result was answered from the store without sampling.
         self.deduped = False
+        #: Execution attempts started (1 on the first run).
+        self.attempts = 0
+        #: Captured traceback of each failed attempt, oldest first.
+        self.attempt_errors: List[str] = []
+        #: Classification of the latest failure: "poison" (deterministic,
+        #: will recur on replay) or "transient" (worker loss / timeout).
+        self.failure_kind: Optional[str] = None
 
     @property
     def key(self) -> str:

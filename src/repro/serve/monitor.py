@@ -47,6 +47,18 @@ class ConvergenceMonitor:
     def converged(self) -> bool:
         return self.converged_kept is not None
 
+    def reset_chain(self, chain_index: int) -> None:
+        """Forget one chain's draws ahead of a deterministic re-feed.
+
+        Called when the serving layer restarts a lost chain: the restarted
+        worker re-emits the chain's kept draws from the beginning (or from
+        its checkpoint prefix), and since the replay is bit-identical to the
+        lost stream, checkpoints already evaluated remain exactly valid —
+        only the pending draws need re-collecting, so ``_next_check`` and
+        the recorded traces stay untouched.
+        """
+        self._online.reset_chain(chain_index)
+
     def observe(self, chain_index: int, kept_block: np.ndarray) -> Optional[int]:
         """Add one chain's block of kept draws; evaluate due checkpoints.
 

@@ -21,12 +21,25 @@ service rather than an offline replay:
    :class:`~repro.serve.monitor.ConvergenceMonitor`; on detection the stop
    iteration is broadcast and the job ends in state ``CONVERGED`` with only
    the iterations it actually needed.
+
+Failed attempts flow through a :class:`RetryPolicy`: the failure is
+classified (``transient`` — a lost worker or timeout, safe to retry, with
+exponential backoff and checkpoint resume; ``poison`` — a deterministic
+in-chain error that recurs on every replay, retried without backoff only to
+confirm) and the job parks in state ``RETRYING`` until its backoff expires,
+quarantining to ``FAILED`` with every attempt's traceback once
+``max_attempts`` is exhausted. A poison job therefore never blocks the
+queue: other work drains while it waits, and its retries fail fast at the
+initial-position density check.
 """
 
 from __future__ import annotations
 
+import heapq
+import time
 import traceback
-from typing import Dict, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.arch.machine import MachineModel
 from repro.arch.platforms import SKYLAKE
@@ -34,11 +47,52 @@ from repro.arch.profile import WorkloadProfile, profile_workload
 from repro.core.predictor import LLC_BOUND_MPKI, LlcMissPredictor, PredictionPoint
 from repro.core.scheduler import PlatformScheduler
 from repro.inference.results import SamplingResult
+from repro.serve.checkpoint import CheckpointStore
 from repro.serve.job import ElisionSummary, Job, JobSpec, JobState, Placement
 from repro.serve.monitor import ConvergenceMonitor
 from repro.serve.queue import JobQueue
 from repro.serve.store import ResultStore, StoredResult
-from repro.serve.workers import ChainWorkerPool, chain_tasks, truncate_chain
+from repro.serve.workers import (
+    ChainExecutionError,
+    ChainWorkerPool,
+    chain_tasks,
+    truncate_chain,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the server reacts to failed job attempts."""
+
+    #: Total attempts per job (first run included).
+    max_attempts: int = 3
+    #: Backoff before transient retry ``n`` is ``base_backoff * 2**(n-1)``.
+    base_backoff: float = 0.5
+    max_backoff: float = 60.0
+    #: Poison failures recur deterministically — retry immediately (the
+    #: replay is cheap: it fails at the initial density check) rather than
+    #: holding queue capacity hostage to a backoff that cannot help.
+    poison_backoff: float = 0.0
+
+    def backoff(self, kind: str, attempt: int) -> float:
+        """Delay before the next attempt, given ``attempt`` failures so far."""
+        if kind == "poison":
+            return self.poison_backoff
+        return min(self.max_backoff, self.base_backoff * 2 ** (attempt - 1))
+
+
+def classify_failure(exc: BaseException) -> str:
+    """``"poison"`` (deterministic, recurs on replay) or ``"transient"``.
+
+    Chain determinism does the classifying: an exception raised *inside* a
+    chain replays identically, while losing the worker process (or the whole
+    job timing out) says nothing about the computation.
+    """
+    if isinstance(exc, ChainExecutionError):
+        return "poison" if exc.poison else "transient"
+    if isinstance(exc, (TimeoutError, ConnectionError, BrokenPipeError)):
+        return "transient"
+    return "poison"
 
 
 class InferenceServer:
@@ -59,6 +113,11 @@ class InferenceServer:
         #: Calibration budget for profiling; small values keep admission
         #: cheap, the profile only needs the mean trajectory length.
         calibration_iterations: int = 30,
+        retry_policy: Optional[RetryPolicy] = None,
+        #: Called with the job as each execution attempt starts / ends (the
+        #: end callback also fires on RETRYING attempts).
+        on_job_start: Optional[Callable[[Job], None]] = None,
+        on_job_finish: Optional[Callable[[Job], None]] = None,
     ) -> None:
         # `is None` checks: JobQueue and ResultStore are sized containers,
         # so a freshly injected (empty) one is falsy.
@@ -78,6 +137,12 @@ class InferenceServer:
         self._scheduler = scheduler
         self._scheduler_injected = scheduler is not None
         self._characterizer = MachineModel(SKYLAKE)
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.on_job_start = on_job_start
+        self.on_job_finish = on_job_finish
+        #: (due_monotonic, seq, job) min-heap of jobs waiting out a backoff.
+        self._retries: List[Tuple[float, int, Job]] = []
+        self._retry_seq = 0
 
     # -- submission ------------------------------------------------------------
 
@@ -186,18 +251,66 @@ class InferenceServer:
 
     # -- execution -------------------------------------------------------------
 
+    def _next_job(self) -> Optional[Job]:
+        """The next job to attempt: a due retry, else the queue's head.
+
+        When only not-yet-due retries remain, sleeps until the earliest one
+        is due rather than reporting the server drained.
+        """
+        while True:
+            if self._retries:
+                due, _, retry = self._retries[0]
+                now = time.monotonic()
+                if due <= now:
+                    heapq.heappop(self._retries)
+                    return retry
+                queued = self.queue.pop()
+                if queued is not None:
+                    return queued
+                time.sleep(min(due - now, 1.0))
+                continue
+            return self.queue.pop()
+
     def run_next(self) -> Optional[Job]:
-        """Pop and execute the highest-priority job; None when drained."""
-        job = self.queue.pop()
+        """Run the next due job attempt; None when fully drained.
+
+        The returned job may be terminal *or* parked in ``RETRYING`` (its
+        next attempt will surface from a later ``run_next`` call once the
+        backoff expires).
+        """
+        job = self._next_job()
         if job is None:
             return None
-        spec = job.spec
+        job.attempts += 1
         job.transition(JobState.RUNNING)
+        if self.on_job_start is not None:
+            self.on_job_start(job)
         try:
             self._execute(job)
-        except Exception:
-            job.fail(traceback.format_exc())
+        except Exception as exc:
+            self._handle_failure(job, exc)
+        if self.on_job_finish is not None:
+            self.on_job_finish(job)
         return job
+
+    def _handle_failure(self, job: Job, exc: BaseException) -> None:
+        """Apply the retry policy to a failed attempt."""
+        kind = classify_failure(exc)
+        job.failure_kind = kind
+        job.attempt_errors.append(traceback.format_exc())
+        if job.attempts >= self.retry_policy.max_attempts:
+            job.fail(
+                f"failed after {job.attempts} attempt(s) "
+                f"(last failure: {kind}):\n" + job.attempt_errors[-1]
+            )
+            return
+        job.transition(JobState.RETRYING)
+        delay = self.retry_policy.backoff(kind, job.attempts)
+        self._retry_seq += 1
+        heapq.heappush(
+            self._retries,
+            (time.monotonic() + delay, self._retry_seq, job),
+        )
 
     def _execute(self, job: Job) -> None:
         spec = job.spec
@@ -226,9 +339,22 @@ class InferenceServer:
                 return None
             return spec.resolved_warmup + stop_kept
 
+        # A retry after a transient failure resumes each chain from its
+        # checkpointed sampler state (bit-identical to starting over, by
+        # construction, but skipping the already-computed prefix). Poison
+        # failures replay from scratch — resuming cannot change a
+        # deterministic outcome, and the failure may predate the checkpoint.
+        resume = (
+            job.attempts > 1
+            and job.failure_kind == "transient"
+            and self.checkpoint_dir is not None
+        )
         chains = self.pool.run_job(
-            chain_tasks(spec, job.job_id, self.checkpoint_dir),
+            chain_tasks(spec, job.job_id, self.checkpoint_dir, resume=resume),
             on_draws=on_draws,
+            on_chain_restart=(
+                monitor.reset_chain if monitor is not None else None
+            ),
         )
 
         elided = monitor is not None and monitor.converged
@@ -266,15 +392,26 @@ class InferenceServer:
             ),
         )
         job.transition(JobState.CONVERGED if elided else JobState.DONE)
+        if self.checkpoint_dir is not None:
+            # The result is stored; the partial-progress safety net served
+            # its purpose. (Failed jobs keep theirs: a usable partial
+            # posterior and the raw material for post-mortems.)
+            CheckpointStore(self.checkpoint_dir).discard_job(job.job_id)
 
     def run_until_drained(self) -> List[Job]:
-        """Execute every queued job (priority order); return them."""
+        """Execute every job to a terminal state (priority order).
+
+        Returns the jobs in completion order. Attempts that park in
+        ``RETRYING`` are not returned; the job appears once, after its
+        final attempt lands it in CONVERGED, DONE, or FAILED.
+        """
         finished: List[Job] = []
         while True:
             job = self.run_next()
             if job is None:
                 return finished
-            finished.append(job)
+            if job.state.terminal:
+                finished.append(job)
 
     # -- lifecycle -------------------------------------------------------------
 

@@ -1,4 +1,4 @@
-"""Parallel chain execution on a ``multiprocessing`` worker pool.
+"""Parallel chain execution on a supervised ``multiprocessing`` worker pool.
 
 Chains are statistically independent (Algorithm 1's outer loop), so the pool
 shards a job's chains across worker processes. Determinism is preserved by
@@ -9,29 +9,64 @@ to :func:`repro.inference.run_chains` however the chains are placed.
 
 While running, each chain streams blocks of post-warmup draws back through
 an event queue (feeding the server's online R-hat monitor) and optionally
-snapshots its draws to a :class:`~repro.serve.checkpoint.CheckpointStore`.
-A shared stop iteration lets the parent halt every chain mid-run — the
-mechanism behind mid-run convergence elision.
+snapshots its full sampler state to a
+:class:`~repro.serve.checkpoint.CheckpointStore`. A shared stop iteration
+lets the parent halt every chain mid-run — the mechanism behind mid-run
+convergence elision.
+
+**Supervision.** The parent polls the event queue on a short interval
+instead of blocking, and between polls checks every worker with
+``Process.is_alive()``. Which chain a worker holds is recorded in a shared
+claims array (written by the worker at task pickup, so it survives a
+SIGKILL that loses any queue-buffered events). A dead worker is respawned
+into the same slot and its lost chain is re-queued — resumed from its
+latest checkpoint when one with sampler state exists, re-run from scratch
+otherwise; either way the determinism guarantee makes the retried chain
+bit-identical to the lost one. Each re-queue bumps the chain's *epoch*;
+stale events from the dead worker's epoch are dropped so the convergence
+monitor never double-counts draws. Workers also heartbeat through the event
+queue, which (optionally) catches hung-but-alive workers.
+
+**Error taxonomy.** Because a chain's computation is a pure function of its
+task, an exception raised *inside* a chain will recur on every replay — the
+worker reports it as ``poison`` and the pool fails the job immediately
+(:class:`PoisonChainError` for the canonical case, a non-finite log-density
+at the initial position). Losing the worker process, by contrast, says
+nothing about the chain — that is ``transient``, retried up to
+``max_chain_restarts`` times before the pool gives up. The server's retry
+policy keys off this distinction via :attr:`ChainExecutionError.kinds`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing as mp
 import os
 import queue as queue_module
+import time
 import traceback
+import warnings
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
 from repro.inference.chain import chain_start
 from repro.inference.engines import build_engine
-from repro.inference.results import ChainResult, SamplingResult
+from repro.inference.results import ChainResult, SamplingResult, StateCapture
 
 #: Draw-block size streamed to the monitor when elision is off: one flush at
 #: the end of the chain keeps the event queue quiet.
 _NO_MONITOR_INTERVAL = 1 << 30
+
+
+class PoisonChainError(RuntimeError):
+    """The chain cannot make progress no matter how often it is retried.
+
+    Canonical case: the model's log-density is non-finite at the chain's
+    initial position, so every deterministic replay fails identically.
+    """
 
 
 @dataclass(frozen=True)
@@ -53,50 +88,135 @@ class ChainTask:
     report_interval: int = 20
     checkpoint_interval: int = 0
     checkpoint_dir: Optional[str] = None
+    #: Path to a v2 checkpoint to resume from (None: start fresh).
+    resume_from: Optional[str] = None
+    #: Incarnation counter; bumped on every re-queue after a lost worker so
+    #: the parent can tell this run's events from a dead predecessor's.
+    epoch: int = 0
 
 
 class ChainExecutionError(RuntimeError):
-    """One or more chains of a job raised inside a worker."""
+    """One or more chains of a job failed.
 
-    def __init__(self, job_id: str, tracebacks: Dict[int, str]) -> None:
+    ``kinds`` maps each failed chain to ``"poison"`` (an in-chain exception:
+    deterministic, will recur on retry) or ``"transient"`` (the worker
+    process was lost and the pool's restart budget ran out).
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        tracebacks: Dict[int, str],
+        kinds: Optional[Dict[int, str]] = None,
+    ) -> None:
         self.job_id = job_id
         self.tracebacks = tracebacks
+        self.kinds = kinds or {chain: "poison" for chain in tracebacks}
         chains = ", ".join(str(c) for c in sorted(tracebacks))
         super().__init__(
             f"job {job_id}: chain(s) {chains} failed:\n"
-            + "\n".join(tracebacks.values())
+            + "\n".join(tb.rstrip("\n") for tb in tracebacks.values())
         )
+
+    @property
+    def poison(self) -> bool:
+        """True when any failed chain fails deterministically."""
+        return any(kind == "poison" for kind in self.kinds.values())
+
+    @property
+    def transient(self) -> bool:
+        return not self.poison
+
+
+def _load_resume_state(task: ChainTask) -> Optional[dict]:
+    """The sampler state snapshot of ``task.resume_from``, if usable.
+
+    Validates the snapshot against the task (engine tag, iteration budget)
+    and falls back to None — a fresh, still-deterministic re-run — on any
+    mismatch or corruption, warning so operators can see degraded resumes.
+    """
+    if not task.resume_from:
+        return None
+    from repro.serve.checkpoint import CheckpointStore
+
+    record = CheckpointStore._read(Path(task.resume_from))
+    if record is None or "sampler_state" not in record:
+        return None
+    state = record["sampler_state"]
+    engine_tags = {"nuts": "nuts", "hmc": "hmc", "mh": "mh", "slice": "slice"}
+    expected = engine_tags.get(task.engine)
+    if state.get("engine") != expected:
+        warnings.warn(
+            f"checkpoint {task.resume_from} holds {state.get('engine')!r} "
+            f"state, task wants {expected!r}; restarting chain fresh",
+            RuntimeWarning,
+        )
+        return None
+    start = int(state.get("t", -1)) + 1
+    if not 0 < start <= task.n_iterations:
+        warnings.warn(
+            f"checkpoint {task.resume_from} at iteration {start - 1} does "
+            f"not fit a {task.n_iterations}-iteration run; restarting fresh",
+            RuntimeWarning,
+        )
+        return None
+    return state
 
 
 def execute_chain(
     task: ChainTask,
     emit: Optional[Callable[[int, np.ndarray], None]] = None,
     stop_iteration: Optional[Callable[[], int]] = None,
+    heartbeat: Optional[Callable[[], None]] = None,
 ) -> ChainResult:
     """Run one chain exactly as the sequential driver would.
 
     ``emit(chain_index, kept_block)`` streams post-warmup draws in blocks of
     ``report_interval``; ``stop_iteration()`` is polled every iteration and a
-    non-negative value stops the chain once ``t + 1`` reaches it.
+    non-negative value stops the chain once ``t + 1`` reaches it;
+    ``heartbeat()`` is called once per iteration so the caller can prove
+    liveness. With ``task.resume_from`` set, the chain restarts from the
+    checkpoint's sampler state and re-emits the restored kept prefix (its
+    draws are bit-identical to the lost run's, so downstream monitors see
+    exactly the stream an uninterrupted run would have produced).
     """
     from repro.serve.checkpoint import CheckpointStore
+    from repro.serve.faults import FaultInjector, _IterationClock
     from repro.suite import load_workload
 
     model = load_workload(task.workload, scale=task.scale, seed=task.dataset_seed)
     sampler = build_engine(task.engine, task.engine_options)
     rng, x0 = chain_start(model, task.seed, task.chain_index, task.initial_jitter)
 
+    injector = FaultInjector.from_env()
+    clock = _IterationClock()
+    if injector is not None:
+        model = injector.wrap_model(model, task.job_id, task.chain_index, clock)
+
+    # Poison detection at admission to the chain: a non-finite log-density
+    # at the initial position fails every deterministic replay identically,
+    # so fail fast instead of burning the retry budget on sampling.
+    logp0 = model.logp(x0)
+    if not np.isfinite(logp0):
+        raise PoisonChainError(
+            f"job {task.job_id} chain {task.chain_index}: non-finite "
+            f"log-density ({logp0}) at the initial position"
+        )
+
     checkpoints = (
         CheckpointStore(task.checkpoint_dir)
         if task.checkpoint_dir and task.checkpoint_interval > 0
         else None
     )
-    history: List[np.ndarray] = []
+    capture = StateCapture()
     pending: List[np.ndarray] = []
 
     def hook(t: int, draw: np.ndarray) -> bool:
-        if checkpoints is not None:
-            history.append(draw.copy())
+        clock.t = t + 1
+        if heartbeat is not None:
+            heartbeat()
+        if injector is not None:
+            injector.on_iteration(task.job_id, task.chain_index, t)
         stop = -1 if stop_iteration is None else int(stop_iteration())
         stopping = 0 <= stop <= t + 1
         last = stopping or t + 1 == task.n_iterations
@@ -106,20 +226,36 @@ def execute_chain(
             if pending and (len(pending) >= task.report_interval or last):
                 emit(task.chain_index, np.asarray(pending))
                 pending.clear()
-        if checkpoints is not None and (
+        if checkpoints is not None and capture.bound and (
             (t + 1) % task.checkpoint_interval == 0 or last
         ):
+            state = capture()
             checkpoints.save_chain(
                 task.job_id, task.chain_index,
-                samples=np.asarray(history),
+                samples=state["samples"],
                 iteration=t, n_warmup=task.n_warmup,
                 n_iterations=task.n_iterations,
+                logps=state["logps"],
+                work=state.get("work"),
+                tree_depths=state.get("tree_depths"),
+                sampler_state=state,
             )
         return not stopping
+
+    resume_state = _load_resume_state(task)
+    if resume_state is not None and emit is not None:
+        # The monitor was reset for this chain; replay the restored kept
+        # prefix so it sees the same stream an uninterrupted run emits.
+        restored = np.asarray(resume_state["samples"])
+        start = int(resume_state["t"]) + 1
+        kept_prefix = restored[task.n_warmup:start]
+        if len(kept_prefix):
+            emit(task.chain_index, kept_prefix.copy())
 
     return sampler.sample_chain(
         model, x0, task.n_iterations, rng,
         n_warmup=task.n_warmup, iteration_hook=hook,
+        state_capture=capture, resume_state=resume_state,
     )
 
 
@@ -146,34 +282,72 @@ def truncate_chain(chain: ChainResult, n_iterations: int) -> ChainResult:
     )
 
 
-def _worker_loop(tasks: mp.Queue, events: mp.Queue, stop_value) -> None:
-    """Worker process main: pull chain tasks until the None sentinel."""
+def _worker_loop(
+    worker_id: int,
+    tasks: mp.Queue,
+    events: mp.Queue,
+    stop_value,
+    claims,
+    heartbeat_interval: float,
+) -> None:
+    """Worker process main: pull chain tasks until the None sentinel.
+
+    The worker advertises its current chain in ``claims[worker_id]``
+    (``chain_index + 1``; 0 means no claim) *before* starting it and clears
+    the claim only at the *next* pickup — so if the process dies after
+    finishing a chain but before its ``done`` event survives the queue's
+    feeder thread, the parent still knows which chain to re-run.
+    """
     while True:
         task = tasks.get()
         if task is None:
+            claims[worker_id] = 0
             return
+        claims[worker_id] = task.chain_index + 1
+        last_beat = [time.monotonic()]
+
+        def heartbeat() -> None:
+            now = time.monotonic()
+            if now - last_beat[0] >= heartbeat_interval:
+                last_beat[0] = now
+                events.put((
+                    "heartbeat", task.job_id, task.chain_index, task.epoch,
+                    worker_id,
+                ))
+
         try:
             chain = execute_chain(
                 task,
                 emit=lambda chain_index, block: events.put(
-                    ("draws", task.job_id, chain_index, block)
+                    ("draws", task.job_id, chain_index, task.epoch, block)
                 ),
                 stop_iteration=lambda: stop_value.value,
+                heartbeat=heartbeat,
             )
-            events.put(("done", task.job_id, task.chain_index, chain))
+            events.put(("done", task.job_id, task.chain_index, task.epoch, chain))
         except Exception:
-            events.put(
-                ("error", task.job_id, task.chain_index, traceback.format_exc())
-            )
+            # In-chain exceptions are deterministic under replay: poison.
+            events.put((
+                "error", task.job_id, task.chain_index, task.epoch,
+                ("poison", traceback.format_exc()),
+            ))
 
 
 class ChainWorkerPool:
-    """Persistent pool of chain-worker processes.
+    """Supervised, persistent pool of chain-worker processes.
 
     Jobs execute one at a time; each job's chains are sharded across the
     pool's processes. ``on_draws(chain_index, kept_block)`` receives streamed
     draw blocks and may return an absolute iteration at which every chain
     should stop (the elision broadcast).
+
+    The parent blocks at most ``poll_interval`` seconds per event wait, so a
+    SIGKILL'd worker is detected within about one poll interval — not at
+    ``job_timeout`` — respawned, and its chain re-queued (resuming from its
+    latest checkpoint when available). ``heartbeat_timeout`` additionally
+    reaps workers that are alive but silent (hung) for that long; None
+    disables the check. A chain is restarted at most ``max_chain_restarts``
+    times per job before the pool reports a transient failure.
     """
 
     def __init__(
@@ -181,6 +355,10 @@ class ChainWorkerPool:
         n_workers: Optional[int] = None,
         start_method: Optional[str] = None,
         job_timeout: float = 3600.0,
+        poll_interval: float = 0.5,
+        heartbeat_interval: float = 1.0,
+        heartbeat_timeout: Optional[float] = None,
+        max_chain_restarts: int = 2,
     ) -> None:
         self.n_workers = n_workers or min(4, os.cpu_count() or 1)
         if self.n_workers < 1:
@@ -192,10 +370,18 @@ class ChainWorkerPool:
             )
         self._ctx = mp.get_context(start_method)
         self.job_timeout = job_timeout
+        self.poll_interval = poll_interval
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_chain_restarts = max_chain_restarts
         self._procs: List[mp.Process] = []
         self._tasks = None
         self._events = None
         self._stop = None
+        self._claims = None
+        self._last_seen: Dict[int, float] = {}
+        #: Worker deaths noticed by supervision since pool start.
+        self.restarted_workers = 0
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -203,23 +389,30 @@ class ChainWorkerPool:
     def started(self) -> bool:
         return bool(self._procs)
 
+    def _spawn(self, slot: int) -> None:
+        proc = self._ctx.Process(
+            target=_worker_loop,
+            args=(
+                slot, self._tasks, self._events, self._stop, self._claims,
+                self.heartbeat_interval,
+            ),
+            daemon=True,
+            name=f"repro-chain-worker-{slot}",
+        )
+        proc.start()
+        self._procs[slot] = proc
+        self._last_seen[slot] = time.monotonic()
+
     def _ensure_started(self) -> None:
         if self._procs:
             return
         self._tasks = self._ctx.Queue()
         self._events = self._ctx.Queue()
         self._stop = self._ctx.Value("q", -1)
-        self._procs = [
-            self._ctx.Process(
-                target=_worker_loop,
-                args=(self._tasks, self._events, self._stop),
-                daemon=True,
-                name=f"repro-chain-worker-{i}",
-            )
-            for i in range(self.n_workers)
-        ]
-        for proc in self._procs:
-            proc.start()
+        self._claims = self._ctx.Array("q", self.n_workers, lock=False)
+        self._procs = [None] * self.n_workers
+        for slot in range(self.n_workers):
+            self._spawn(slot)
 
     def shutdown(self) -> None:
         if not self._procs:
@@ -232,7 +425,8 @@ class ChainWorkerPool:
                 proc.terminate()
                 proc.join(timeout=5)
         self._procs = []
-        self._tasks = self._events = self._stop = None
+        self._tasks = self._events = self._stop = self._claims = None
+        self._last_seen = {}
 
     def __enter__(self) -> "ChainWorkerPool":
         self._ensure_started()
@@ -247,63 +441,187 @@ class ChainWorkerPool:
         self,
         tasks: List[ChainTask],
         on_draws: Optional[Callable[[int, np.ndarray], Optional[int]]] = None,
+        on_chain_restart: Optional[Callable[[int], None]] = None,
     ) -> List[ChainResult]:
         """Execute one job's chain shards; block until every chain returns.
 
         Returns the chains in task order. Raises
         :class:`ChainExecutionError` if any chain failed (the remaining
         chains are halted at their next iteration first, so the pool stays
-        drained and reusable).
+        drained and reusable), or :class:`TimeoutError` when the whole job
+        exceeds ``job_timeout``. ``on_chain_restart(chain_index)`` fires
+        just before a lost chain is re-queued, so the caller can reset any
+        per-chain monitor state (the restarted chain re-emits its kept
+        draws from the beginning or from its checkpoint prefix).
         """
         if not tasks:
             return []
         self._ensure_started()
         with self._stop.get_lock():
             self._stop.value = -1
+        now = time.monotonic()
+        for slot in range(self.n_workers):
+            # Workers are idle between jobs (run_job drains fully), so the
+            # parent can safely clear last job's residual claims.
+            self._claims[slot] = 0
+            self._last_seen[slot] = now
+        task_by_chain: Dict[int, ChainTask] = {}
+        epochs: Dict[int, int] = {}
+        restarts: Dict[int, int] = {}
         for task in tasks:
+            task_by_chain[task.chain_index] = task
+            epochs[task.chain_index] = task.epoch
+            restarts[task.chain_index] = 0
             self._tasks.put(task)
 
         chains: Dict[int, ChainResult] = {}
         errors: Dict[int, str] = {}
+        kinds: Dict[int, str] = {}
         outstanding = len(tasks)
         job_id = tasks[0].job_id
+        deadline = now + self.job_timeout
+
+        def broadcast_stop() -> None:
+            with self._stop.get_lock():
+                self._stop.value = 0
+
         while outstanding:
             try:
-                kind, _, chain_index, payload = self._events.get(
-                    timeout=self.job_timeout
-                )
+                event = self._events.get(timeout=self.poll_interval)
             except queue_module.Empty:
+                event = None
+
+            if event is not None:
+                kind, ev_job, chain_index, epoch, payload = event
+                if kind == "heartbeat":
+                    self._last_seen[payload] = time.monotonic()
+                elif ev_job != job_id or epoch != epochs.get(chain_index):
+                    pass  # stale: a dead predecessor's buffered event
+                elif kind == "draws":
+                    if on_draws is not None and not errors:
+                        stop_at = on_draws(chain_index, payload)
+                        if stop_at is not None:
+                            with self._stop.get_lock():
+                                if self._stop.value < 0:
+                                    self._stop.value = int(stop_at)
+                elif kind == "done":
+                    if chain_index not in chains and chain_index not in errors:
+                        chains[chain_index] = payload
+                        outstanding -= 1
+                elif kind == "error":
+                    if chain_index not in chains and chain_index not in errors:
+                        error_kind, tb = payload
+                        errors[chain_index] = tb
+                        kinds[chain_index] = error_kind
+                        outstanding -= 1
+                        # Halt the surviving chains at their next iteration.
+                        broadcast_stop()
+
+            now = time.monotonic()
+            if now > deadline:
                 self.shutdown()
                 raise TimeoutError(
-                    f"job {job_id}: no worker event within "
+                    f"job {job_id}: not finished within "
                     f"{self.job_timeout:.0f}s; pool shut down"
-                ) from None
-            if kind == "draws":
-                if on_draws is not None and not errors:
-                    stop_at = on_draws(chain_index, payload)
-                    if stop_at is not None:
-                        with self._stop.get_lock():
-                            if self._stop.value < 0:
-                                self._stop.value = int(stop_at)
-            elif kind == "done":
-                chains[chain_index] = payload
-                outstanding -= 1
-            else:  # error
-                errors[chain_index] = payload
-                outstanding -= 1
-                # Halt the surviving chains at their next iteration.
-                with self._stop.get_lock():
-                    self._stop.value = 0
+                )
+
+            resolved = set(chains) | set(errors)
+            for lost in self._sweep(now, resolved):
+                if (
+                    lost not in task_by_chain
+                    or lost in chains
+                    or lost in errors
+                ):
+                    continue
+                restarts[lost] += 1
+                if restarts[lost] > self.max_chain_restarts:
+                    errors[lost] = (
+                        f"job {job_id} chain {lost}: worker lost "
+                        f"{restarts[lost]} times (restart budget "
+                        f"{self.max_chain_restarts}); giving up\n"
+                    )
+                    kinds[lost] = "transient"
+                    outstanding -= 1
+                    broadcast_stop()
+                    continue
+                epochs[lost] += 1
+                resume_from = self._resume_path(task_by_chain[lost])
+                new_task = dataclasses.replace(
+                    task_by_chain[lost],
+                    epoch=epochs[lost],
+                    resume_from=resume_from,
+                )
+                task_by_chain[lost] = new_task
+                if on_chain_restart is not None:
+                    on_chain_restart(lost)
+                self._tasks.put(new_task)
+
         if errors:
-            raise ChainExecutionError(job_id, errors)
+            raise ChainExecutionError(job_id, errors, kinds)
         return [chains[task.chain_index] for task in tasks]
 
+    def _sweep(self, now: float, resolved=()) -> List[int]:
+        """Respawn dead/hung workers; return the chains they were holding.
 
-def chain_tasks(spec, job_id: str, checkpoint_dir: Optional[str] = None) -> List[ChainTask]:
-    """Shard a :class:`~repro.serve.job.JobSpec` into per-chain tasks."""
+        ``resolved`` is the set of chains already finished or failed: a
+        silent worker whose claim is resolved is merely idle (claims clear
+        at the *next* pickup), not hung.
+        """
+        lost: List[int] = []
+        for slot in range(self.n_workers):
+            proc = self._procs[slot]
+            if proc.is_alive():
+                if (
+                    self.heartbeat_timeout is not None
+                    and self._claims[slot]
+                    and (self._claims[slot] - 1) not in resolved
+                    and now - self._last_seen[slot] > self.heartbeat_timeout
+                ):
+                    # Alive but silent past the heartbeat deadline: hung.
+                    proc.kill()
+                    proc.join(timeout=5)
+                else:
+                    continue
+            claim = self._claims[slot]
+            self._claims[slot] = 0
+            self.restarted_workers += 1
+            self._spawn(slot)
+            if claim:
+                lost.append(int(claim) - 1)
+        return lost
+
+    @staticmethod
+    def _resume_path(task: ChainTask) -> Optional[str]:
+        if not task.checkpoint_dir or task.checkpoint_interval <= 0:
+            return None
+        from repro.serve.checkpoint import CheckpointStore
+
+        return CheckpointStore(task.checkpoint_dir).resume_path(
+            task.job_id, task.chain_index
+        )
+
+
+def chain_tasks(
+    spec,
+    job_id: str,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+) -> List[ChainTask]:
+    """Shard a :class:`~repro.serve.job.JobSpec` into per-chain tasks.
+
+    With ``resume=True``, chains whose checkpoint carries sampler state pick
+    up where the previous attempt stopped instead of re-running from scratch.
+    """
+    from repro.serve.checkpoint import CheckpointStore
+
     report_interval = (
         spec.check_interval if spec.elide and spec.n_chains >= 2
         else _NO_MONITOR_INTERVAL
+    )
+    store = (
+        CheckpointStore(checkpoint_dir)
+        if resume and checkpoint_dir and spec.checkpoint_interval > 0
+        else None
     )
     return [
         ChainTask(
@@ -321,6 +639,9 @@ def chain_tasks(spec, job_id: str, checkpoint_dir: Optional[str] = None) -> List
             report_interval=report_interval,
             checkpoint_interval=spec.checkpoint_interval,
             checkpoint_dir=checkpoint_dir,
+            resume_from=(
+                store.resume_path(job_id, chain_index) if store else None
+            ),
         )
         for chain_index in range(spec.n_chains)
     ]

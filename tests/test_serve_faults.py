@@ -1,0 +1,322 @@
+"""Fault tolerance end-to-end: supervised workers, retry policy, recovery.
+
+These tests script failures with :mod:`repro.serve.faults` and assert the
+two headline guarantees of the fault-tolerant service:
+
+* a SIGKILL'd worker is detected within about one poll interval (not the
+  job timeout), respawned, and its chain re-run or resumed — with final
+  draws **bit-identical** to a run that never failed;
+* a poison job (deterministic failure, e.g. a non-finite log-density at the
+  initial position) is quarantined to FAILED after ``max_attempts`` with
+  every attempt's traceback, without blocking other queued work.
+
+Longer scenarios (hang detection, restart-budget exhaustion, elision under
+injected kills) are marked ``slow`` and run in the scheduled CI job.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.inference import run_chains
+from repro.inference.engines import build_engine
+from repro.serve import (
+    ChainExecutionError,
+    ChainWorkerPool,
+    InferenceServer,
+    Job,
+    JobSpec,
+    JobState,
+    RetryPolicy,
+    chain_tasks,
+    classify_failure,
+)
+from repro.serve.faults import (
+    ENV_VAR,
+    Fault,
+    FaultInjector,
+    InjectedFaultError,
+    installed,
+    read_plan,
+    write_plan,
+)
+from repro.suite import load_workload
+
+
+class TestFaultPlans:
+    def test_plan_roundtrip(self, tmp_path):
+        plan = tmp_path / "faults.json"
+        faults = [
+            Fault(kind="kill", iteration=20, chain_index=1),
+            Fault(kind="nan_logp", iteration=-1, job_id="abc"),
+            Fault(kind="hang", iteration=5, seconds=9.0, max_fires=2),
+        ]
+        write_plan(str(plan), faults)
+        assert read_plan(str(plan)) == faults
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault(kind="meteor", iteration=0)
+
+    def test_installed_sets_and_restores_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        with installed(str(tmp_path / "plan.json")) as path:
+            import os
+
+            assert os.environ[ENV_VAR] == path
+        import os
+
+        assert ENV_VAR not in os.environ
+
+    def test_injector_fires_once_across_claims(self, tmp_path):
+        plan = str(tmp_path / "plan.json")
+        write_plan(plan, [Fault(kind="raise", iteration=3)])
+        injector = FaultInjector(read_plan(plan), plan)
+        with pytest.raises(InjectedFaultError):
+            injector.on_iteration("job", 0, 3)
+        # The sentinel is spent: a deterministic replay sails through.
+        injector.on_iteration("job", 0, 3)
+
+    def test_missing_plan_disables_injection(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(ENV_VAR, str(tmp_path / "nonexistent.json"))
+        assert FaultInjector.from_env() is None
+
+
+class TestRetryingState:
+    def test_running_to_retrying_roundtrip(self):
+        job = Job(JobSpec(workload="votes", engine="mh", n_iterations=20))
+        job.transition(JobState.RUNNING)
+        job.transition(JobState.RETRYING)
+        assert not job.state.terminal
+        job.transition(JobState.RUNNING)
+        job.transition(JobState.RETRYING)
+        job.transition(JobState.FAILED)
+        assert job.state.terminal
+
+    def test_retrying_cannot_complete_directly(self):
+        job = Job(JobSpec(workload="votes", engine="mh", n_iterations=20))
+        job.transition(JobState.RUNNING)
+        job.transition(JobState.RETRYING)
+        with pytest.raises(ValueError, match="illegal job transition"):
+            job.transition(JobState.DONE)
+
+    def test_classify_failure(self):
+        poison = ChainExecutionError("j", {0: "tb"}, {0: "poison"})
+        mixed = ChainExecutionError("j", {0: "a", 1: "b"},
+                                    {0: "transient", 1: "poison"})
+        transient = ChainExecutionError("j", {0: "tb"}, {0: "transient"})
+        assert classify_failure(poison) == "poison"
+        assert classify_failure(mixed) == "poison"
+        assert classify_failure(transient) == "transient"
+        assert classify_failure(TimeoutError("x")) == "transient"
+        assert classify_failure(RuntimeError("x")) == "poison"
+
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(max_attempts=4, base_backoff=0.5, max_backoff=1.5)
+        assert policy.backoff("transient", 1) == 0.5
+        assert policy.backoff("transient", 2) == 1.0
+        assert policy.backoff("transient", 3) == 1.5  # capped
+        assert policy.backoff("poison", 1) == 0.0
+
+
+KILL_SPEC = JobSpec(
+    workload="votes",
+    engine="mh",
+    n_iterations=60,
+    n_warmup=30,
+    n_chains=2,
+    seed=4,
+    scale=0.25,
+    elide=False,
+    checkpoint_interval=10,
+)
+
+
+def _sequential(spec: JobSpec):
+    return run_chains(
+        load_workload(spec.workload, scale=spec.scale, seed=spec.dataset_seed),
+        build_engine(spec.engine, spec.engine_options),
+        n_iterations=spec.n_iterations,
+        n_warmup=spec.resolved_warmup,
+        n_chains=spec.n_chains,
+        seed=spec.seed,
+        initial_jitter=spec.initial_jitter,
+    )
+
+
+def _assert_bit_identical(result, reference):
+    for got, want in zip(result.chains, reference.chains):
+        np.testing.assert_array_equal(got.samples, want.samples)
+        np.testing.assert_array_equal(got.logps, want.logps)
+        np.testing.assert_array_equal(
+            got.work_per_iteration, want.work_per_iteration
+        )
+
+
+def test_sigkilled_worker_is_detected_resumed_and_bit_identical(tmp_path):
+    """The acceptance scenario: kill a worker mid-chain; the supervisor
+    notices within ~poll_interval, respawns it, resumes the chain from its
+    checkpoint, and the job's draws equal an unfailed run's exactly."""
+    plan = str(tmp_path / "plan.json")
+    write_plan(plan, [Fault(kind="kill", iteration=40, chain_index=1)])
+    pool = ChainWorkerPool(
+        n_workers=2, poll_interval=0.2, job_timeout=120.0,
+    )
+    with installed(plan):
+        with InferenceServer(
+            pool=pool, placement=False,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+        ) as server:
+            job = server.submit(KILL_SPEC)
+            started = time.monotonic()
+            finished = server.run_until_drained()
+            elapsed = time.monotonic() - started
+    assert finished == [job]
+    assert job.state is JobState.DONE
+    # The pool healed the loss itself: no server-level retry was needed,
+    # and detection keyed off the poll interval, not job_timeout.
+    assert job.attempts == 1
+    assert pool.restarted_workers >= 1
+    assert elapsed < 60.0
+    _assert_bit_identical(job.result, _sequential(KILL_SPEC))
+
+
+def test_poison_job_quarantined_without_blocking_queue(tmp_path):
+    plan = str(tmp_path / "plan.json")
+    with installed(plan):
+        with InferenceServer(
+            n_workers=2, placement=False,
+            retry_policy=RetryPolicy(max_attempts=3, base_backoff=0.0),
+        ) as server:
+            poison = server.submit(
+                "votes", engine="mh", n_iterations=30, n_chains=2, seed=9,
+                scale=0.25, elide=False, priority=5,
+            )
+            healthy = server.submit(
+                "votes", engine="mh", n_iterations=30, n_chains=2, seed=11,
+                scale=0.25, elide=False,
+            )
+            # Poison exactly the high-priority job's initial density.
+            write_plan(plan, [
+                Fault(kind="nan_logp", iteration=-1, job_id=poison.job_id),
+            ])
+            finished = server.run_until_drained()
+
+    assert [job.job_id for job in finished] == [poison.job_id, healthy.job_id]
+    assert poison.state is JobState.FAILED
+    assert poison.attempts == 3
+    assert poison.failure_kind == "poison"
+    assert len(poison.attempt_errors) == 3
+    assert "non-finite" in poison.error
+    assert "failed after 3 attempt(s)" in poison.error
+    # The quarantine never blocked the rest of the queue.
+    assert healthy.state is JobState.DONE
+    assert poison.spec.key() not in server.store
+
+
+def test_injected_raise_is_classified_poison(tmp_path):
+    plan = str(tmp_path / "plan.json")
+    write_plan(plan, [Fault(kind="raise", iteration=10, chain_index=0)])
+    spec = JobSpec(workload="votes", engine="mh", n_iterations=30,
+                   n_chains=2, seed=2, scale=0.25, elide=False)
+    with installed(plan):
+        with ChainWorkerPool(n_workers=2, poll_interval=0.2) as pool:
+            with pytest.raises(ChainExecutionError) as err:
+                pool.run_job(chain_tasks(spec, "raise-job"))
+    assert err.value.poison
+    assert err.value.kinds[0] == "poison"
+    assert "injected fault" in err.value.tracebacks[0]
+    # The pool survives for the next job.
+    chains = pool.run_job(chain_tasks(spec, "after-raise"))
+    assert len(chains) == 2
+
+
+@pytest.mark.slow
+def test_restart_budget_exhaustion_is_transient_failure(tmp_path):
+    """A chain whose worker dies on every replay exhausts the pool's
+    restart budget and surfaces as a transient job failure; the server
+    retries the whole job and finally quarantines it as FAILED."""
+    plan = str(tmp_path / "plan.json")
+    write_plan(plan, [
+        Fault(kind="kill", iteration=10, chain_index=1, max_fires=20),
+    ])
+    pool = ChainWorkerPool(
+        n_workers=2, poll_interval=0.1, max_chain_restarts=2,
+        job_timeout=120.0,
+    )
+    with installed(plan):
+        with InferenceServer(
+            pool=pool, placement=False,
+            retry_policy=RetryPolicy(max_attempts=2, base_backoff=0.0),
+        ) as server:
+            job = server.submit(
+                "votes", engine="mh", n_iterations=40, n_chains=2, seed=6,
+                scale=0.25, elide=False,
+            )
+            server.run_until_drained()
+    assert job.state is JobState.FAILED
+    assert job.failure_kind == "transient"
+    assert job.attempts == 2
+    assert "worker lost" in job.error
+
+
+@pytest.mark.slow
+def test_hung_worker_is_reaped_by_heartbeat_timeout(tmp_path):
+    plan = str(tmp_path / "plan.json")
+    write_plan(plan, [Fault(kind="hang", iteration=20, chain_index=0,
+                            seconds=600.0)])
+    spec = JobSpec(workload="votes", engine="mh", n_iterations=60,
+                   n_warmup=30, n_chains=2, seed=4, scale=0.25, elide=False)
+    pool = ChainWorkerPool(
+        n_workers=2, poll_interval=0.2, heartbeat_interval=0.2,
+        heartbeat_timeout=3.0, job_timeout=120.0,
+    )
+    with installed(plan):
+        with pool:
+            started = time.monotonic()
+            chains = pool.run_job(chain_tasks(spec, "hang-job"))
+            elapsed = time.monotonic() - started
+    assert pool.restarted_workers >= 1
+    assert elapsed < 60.0
+    _assert_bit_identical(
+        type("R", (), {"chains": chains})(), _sequential(spec)
+    )
+
+
+@pytest.mark.slow
+def test_kill_under_elision_still_matches_sequential_prefix(tmp_path):
+    """Worker loss composes with mid-run elision: the monitor's chain reset
+    plus the deterministic replay keep the CONVERGED result bit-identical
+    to the unfailed elided run."""
+    spec = JobSpec(
+        workload="12cities", engine="nuts", n_iterations=180, n_warmup=60,
+        n_chains=3, seed=3, scale=0.25, checkpoint_interval=25,
+    )
+    plan = str(tmp_path / "plan.json")
+    with installed(plan):
+        pool = ChainWorkerPool(n_workers=3, poll_interval=0.2,
+                               job_timeout=300.0)
+        with InferenceServer(
+            pool=pool, placement=False,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+        ) as server:
+            job = server.submit(spec)
+            write_plan(plan, [
+                Fault(kind="kill", iteration=70, chain_index=1,
+                      job_id=job.job_id),
+            ])
+            server.run_until_drained()
+    assert job.state is JobState.CONVERGED
+    assert pool.restarted_workers >= 1
+    assert job.elision.converged_kept == 60
+    total = spec.resolved_warmup + job.elision.converged_kept
+    sequential = run_chains(
+        load_workload(spec.workload, scale=spec.scale),
+        build_engine(spec.engine, spec.engine_options),
+        n_iterations=total, n_warmup=spec.resolved_warmup,
+        n_chains=spec.n_chains, seed=spec.seed,
+    )
+    for got, want in zip(job.result.chains, sequential.chains):
+        np.testing.assert_array_equal(got.samples, want.samples)
+        np.testing.assert_array_equal(got.logps, want.logps)

@@ -1,0 +1,107 @@
+"""The durable JSONL submit queue and `repro serve` restart recovery."""
+
+import json
+
+import pytest
+
+from repro.serve import FileJobQueue, JobSpec
+
+SPEC_A = JobSpec(workload="votes", engine="mh", n_iterations=30, n_chains=2,
+                 seed=0, scale=0.25, elide=False)
+SPEC_B = JobSpec(workload="votes", engine="mh", n_iterations=30, n_chains=2,
+                 seed=1, scale=0.25, elide=False)
+
+
+class TestFileJobQueue:
+    def test_submit_then_load_pending(self, tmp_path):
+        fq = FileJobQueue(tmp_path / "queue.jsonl")
+        a = fq.submit(SPEC_A)
+        b = fq.submit(SPEC_B)
+        recovery = fq.load()
+        assert [e.entry_id for e in recovery.pending] == [a, b]
+        assert [e.spec for e in recovery.pending] == [SPEC_A, SPEC_B]
+        assert recovery.orphaned == []
+        assert recovery.entries == recovery.pending
+
+    def test_running_without_finished_is_orphaned(self, tmp_path):
+        fq = FileJobQueue(tmp_path / "queue.jsonl")
+        a = fq.submit(SPEC_A)
+        b = fq.submit(SPEC_B)
+        fq.mark_running(a)
+        recovery = fq.load()
+        assert [e.entry_id for e in recovery.orphaned] == [a]
+        assert recovery.orphaned[0].spec == SPEC_A
+        assert [e.entry_id for e in recovery.pending] == [b]
+        # Orphans run first on recovery: they were admitted earlier.
+        assert [e.entry_id for e in recovery.entries] == [a, b]
+
+    def test_finished_entries_drop_out(self, tmp_path):
+        fq = FileJobQueue(tmp_path / "queue.jsonl")
+        a = fq.submit(SPEC_A)
+        b = fq.submit(SPEC_B)
+        fq.mark_running(a)
+        fq.mark_finished(a, state="done")
+        recovery = fq.load()
+        assert [e.entry_id for e in recovery.entries] == [b]
+
+    def test_legacy_bare_spec_lines_load_as_pending(self, tmp_path):
+        path = tmp_path / "queue.jsonl"
+        path.write_text(
+            json.dumps(SPEC_A.to_dict()) + "\n"
+            + json.dumps(SPEC_B.to_dict()) + "\n"
+        )
+        recovery = FileJobQueue(path).load()
+        assert [e.spec for e in recovery.pending] == [SPEC_A, SPEC_B]
+
+    def test_corrupt_lines_are_skipped_with_warning(self, tmp_path):
+        fq = FileJobQueue(tmp_path / "queue.jsonl")
+        a = fq.submit(SPEC_A)
+        with fq.path.open("a") as handle:
+            handle.write('{"op": "submit", "id": "torn-wr\n')
+            handle.write(json.dumps({"op": "submit", "id": "bad",
+                                     "spec": {"workload": "votes",
+                                              "not_a_field": 1}}) + "\n")
+        with pytest.warns(RuntimeWarning):
+            recovery = fq.load()
+        assert [e.entry_id for e in recovery.pending] == [a]
+
+    def test_missing_file_and_truncate(self, tmp_path):
+        fq = FileJobQueue(tmp_path / "queue.jsonl")
+        assert fq.load().entries == []
+        fq.truncate()  # no file: no error
+        fq.submit(SPEC_A)
+        fq.truncate()
+        assert fq.path.read_text() == ""
+        assert fq.load().entries == []
+
+
+class TestServeRestartRecovery:
+    def test_drain_requeues_jobs_interrupted_mid_run(self, tmp_path, capsys):
+        """Simulate a server killed mid-job: the queue log records the job
+        as running but never finished; the next `repro serve` re-runs it."""
+        from repro.cli import main
+
+        for seed in (0, 1):
+            assert main([
+                "submit", "votes", "--engine", "mh", "--iterations", "30",
+                "--chains", "2", "--seed", str(seed), "--scale", "0.25",
+                "--no-elide", "--queue-dir", str(tmp_path),
+            ]) == 0
+        fq = FileJobQueue(tmp_path / "queue.jsonl")
+        recovery = fq.load()
+        # The "crashed" server started the first job but never finished it.
+        fq.mark_running(recovery.pending[0].entry_id)
+        capsys.readouterr()
+
+        code = main([
+            "serve", "--drain", "--queue-dir", str(tmp_path),
+            "--workers", "2", "--no-placement",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recovering 1 job(s)" in out
+        assert "draining 2 job(s)" in out
+        assert out.count(" done ") >= 2
+        # Everything reached a terminal state, so the log was truncated.
+        assert (tmp_path / "queue.jsonl").read_text() == ""
+        assert len(list((tmp_path / "results").glob("*.pkl"))) == 2
