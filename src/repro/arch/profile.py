@@ -38,6 +38,12 @@ class WorkloadProfile:
     default_iterations: int
     default_warmup: int
     default_chains: int
+    #: Provenance tag. Profiles are ``"static"``: model-based estimates fed
+    #: to the analytical machine model (even the calibration-derived
+    #: trajectory length parameterizes a formula). Numbers observed at run
+    #: time live in :mod:`repro.telemetry` and are tagged ``"measured"`` —
+    #: the two must never be conflated in reports.
+    source: str = "static"
 
     #: Allocator-churn multiplier for intermediate tape values: across the
     #: leapfrog steps of one trajectory, freshly allocated forward values and
@@ -152,4 +158,5 @@ def profile_workload(
         default_iterations=getattr(model, "default_iterations", 1000),
         default_warmup=getattr(model, "default_warmup", 500),
         default_chains=getattr(model, "default_chains", 4),
+        source="static",
     )

@@ -10,7 +10,9 @@ Small, scriptable entry points over the library's main flows:
 * ``subsample`` — the Section VII-B cache-fitting data-subsampling advice;
 * ``submit`` / ``serve`` — queue sampling jobs and drain them through the
   :mod:`repro.serve` inference service (parallel chains, predictor-driven
-  placement, mid-run elision).
+  placement, mid-run elision);
+* ``metrics`` — render the metrics snapshot a ``serve`` run left behind as
+  Prometheus text (see ``docs/telemetry.md``).
 """
 
 from __future__ import annotations
@@ -113,6 +115,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-attempts", type=int, default=3,
                        help="execution attempts per job before it is "
                             "quarantined as failed")
+    serve.add_argument("--metrics-file", default=None,
+                       help="Prometheus text file, rewritten atomically "
+                            "after every job attempt (for a textfile "
+                            "collector to scrape)")
+
+    metrics = sub.add_parser(
+        "metrics", help="render recorded serve metrics as Prometheus text"
+    )
+    metrics.add_argument("--queue-dir", default=".repro-serve")
+    metrics.add_argument("--snapshot", default=None,
+                         help="explicit snapshot file "
+                              "(default: <queue-dir>/metrics.json)")
     return parser
 
 
@@ -268,6 +282,10 @@ def cmd_serve(args) -> int:
     from repro.serve import (
         FileJobQueue, InferenceServer, JobState, ResultStore, RetryPolicy,
     )
+    from repro.telemetry.exposition import write_snapshot
+    from repro.telemetry.instrument import (
+        SERVE_CHAIN_RETRIES, SERVE_JOB_RETRIES, SERVE_WORKER_RESTARTS,
+    )
 
     if not args.drain:
         print("repro serve currently supports --drain only "
@@ -312,6 +330,7 @@ def cmd_serve(args) -> int:
         retry_policy=RetryPolicy(max_attempts=args.max_attempts),
         on_job_start=on_job_start,
         on_job_finish=on_job_finish,
+        metrics_file=args.metrics_file,
     ) as server:
         jobs = []
         for entry in entries:
@@ -327,7 +346,7 @@ def cmd_serve(args) -> int:
         server.run_until_drained()
 
         print(f"{'job':<14s} {'workload':<10s} {'state':<10s} {'platform':<10s} "
-              f"{'kept':>9s} {'elided':>7s}")
+              f"{'kept':>9s} {'elided':>7s} {'tries':>6s}")
         failed = 0
         for job in jobs:
             failed += job.state is JobState.FAILED
@@ -342,14 +361,45 @@ def cmd_serve(args) -> int:
                 kept, saved = "-", "-"
             print(f"{job.job_id:<14s} {job.spec.workload:<10s} "
                   f"{job.state.value:<10s} {platform:<10s} {kept:>9s} "
-                  f"{saved:>7s}")
+                  f"{saved:>7s} {job.attempts:>6d}")
             if job.error:
                 print(f"  error: {job.error.rstrip().splitlines()[-1]}")
+
+        registry = server.registry
+        snapshot_path = write_snapshot(
+            str(path.parent / "metrics.json"), registry
+        )
+        print(
+            f"telemetry: "
+            f"{registry.sum_counter(SERVE_WORKER_RESTARTS):.0f} worker "
+            f"restart(s), "
+            f"{registry.sum_counter(SERVE_CHAIN_RETRIES):.0f} chain "
+            f"retrie(s), "
+            f"{registry.sum_counter(SERVE_JOB_RETRIES):.0f} job retrie(s); "
+            f"snapshot in {snapshot_path} (render with `repro metrics`)"
+        )
 
     # Processed submissions leave the queue; results stay in the store.
     file_queue.truncate()
     print(f"results stored in {path.parent / 'results'}")
     return 1 if failed else 0
+
+
+def cmd_metrics(args) -> int:
+    from pathlib import Path
+
+    from repro.telemetry.exposition import read_snapshot, render_prometheus
+
+    snapshot_path = (
+        Path(args.snapshot) if args.snapshot
+        else Path(args.queue_dir) / "metrics.json"
+    )
+    if not snapshot_path.exists():
+        print(f"no metrics snapshot at {snapshot_path}; "
+              f"run `repro serve --drain` first", file=sys.stderr)
+        return 1
+    print(render_prometheus(read_snapshot(str(snapshot_path))), end="")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -373,6 +423,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_submit(args)
     elif args.command == "serve":
         return cmd_serve(args)
+    elif args.command == "metrics":
+        return cmd_metrics(args)
     elif args.command == "report":
         from repro.core.pipeline import SuiteRunner
         from repro.report import write_report

@@ -32,6 +32,7 @@ from repro.core.scheduler import PlatformScheduler
 from repro.inference import NUTS, run_chains
 from repro.inference.results import SamplingResult
 from repro.suite import load_workload, workload_names
+from repro.telemetry import get_tracer
 
 
 class SuiteRunner:
@@ -118,13 +119,17 @@ class SuiteRunner:
         key = (name, scale if scale is not None else self.scale)
         if key not in self._profiles:
             cache_key = (name, key[1], self.seed, self.max_tree_depth)
-            self._profiles[key] = self._cached(
-                "profile", cache_key,
-                lambda: profile_workload(
-                    self.model(name, key[1]), calibration_iterations=30,
-                    n_chains=2, seed=self.seed, sampler=self.sampler,
-                ),
-            )
+
+            def compute() -> WorkloadProfile:
+                # Spans wrap only the actual computation: a cache hit (in
+                # memory or on disk) records nothing.
+                with get_tracer().span("suite.profile", workload=name):
+                    return profile_workload(
+                        self.model(name, key[1]), calibration_iterations=30,
+                        n_chains=2, seed=self.seed, sampler=self.sampler,
+                    )
+
+            self._profiles[key] = self._cached("profile", cache_key, compute)
         return self._profiles[key]
 
     def budget(self, name: str) -> Tuple[int, int]:
@@ -208,10 +213,14 @@ class SuiteRunner:
                 name, self.scale, total, warmup, self.n_chains, self.seed,
                 self.max_tree_depth, self.initial_jitter,
             )
-            self._runs[name] = self._cached(
-                "run", cache_key,
-                lambda: self._sample(name, total, warmup, self.seed),
-            )
+            def compute() -> SamplingResult:
+                with get_tracer().span(
+                    "suite.run", workload=name, executor=self.executor,
+                    n_iterations=total, n_chains=self.n_chains,
+                ):
+                    return self._sample(name, total, warmup, self.seed)
+
+            self._runs[name] = self._cached("run", cache_key, compute)
         return self._runs[name]
 
     def ground_truth(self, name: str) -> np.ndarray:
@@ -222,12 +231,13 @@ class SuiteRunner:
                 name, self.scale, total, warmup, self.n_chains,
                 self.seed + 1000, self.max_tree_depth,
             )
-            self._truths[name] = self._cached(
-                "truth", cache_key,
-                lambda: self._sample(
-                    name, 2 * total, warmup, self.seed + 1000
-                ).pooled(second_half_only=True),
-            )
+            def compute() -> np.ndarray:
+                with get_tracer().span("suite.ground_truth", workload=name):
+                    return self._sample(
+                        name, 2 * total, warmup, self.seed + 1000
+                    ).pooled(second_half_only=True)
+
+            self._truths[name] = self._cached("truth", cache_key, compute)
         return self._truths[name]
 
     def all_profiles(self) -> List[WorkloadProfile]:

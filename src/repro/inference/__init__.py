@@ -16,7 +16,12 @@ chain's *work* (gradient evaluations per iteration) is recorded so the
 architectural model can reproduce the paper's slowest-chain effects.
 """
 
-from repro.inference.results import ChainResult, IterationHook, SamplingResult
+from repro.inference.results import (
+    ChainResult,
+    IterationHook,
+    SamplingResult,
+    compose_hooks,
+)
 from repro.inference.metropolis import MetropolisHastings
 from repro.inference.hmc import HMC
 from repro.inference.nuts import NUTS
@@ -38,6 +43,7 @@ __all__ = [
     "build_engine",
     "chain_rng",
     "chain_start",
+    "compose_hooks",
     "engine_names",
     "run_chains",
 ]

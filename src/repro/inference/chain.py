@@ -14,7 +14,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.inference.results import IterationHook, SamplingResult
+from repro.inference.results import IterationHook, SamplingResult, compose_hooks
 
 #: Number of chains suggested by Brooks et al. and used throughout the paper.
 DEFAULT_CHAINS = 4
@@ -112,6 +112,16 @@ def run_chains(
         raise ValueError("n_iterations must be at least 2")
     if n_chains < 1:
         raise ValueError("n_chains must be at least 1")
+
+    # Opt-in runtime telemetry (repro.telemetry.enable() / REPRO_TELEMETRY=1).
+    # When disabled this adds nothing — not even a no-op hook — so the
+    # uninstrumented path stays bit-and-time-identical.
+    from repro import telemetry
+
+    if telemetry.enabled():
+        iteration_hook = compose_hooks(
+            telemetry.sampler_hook(model.name, sampler), iteration_hook
+        )
 
     chains = []
     for chain_index in range(n_chains):

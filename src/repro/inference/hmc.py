@@ -124,6 +124,7 @@ class HMC:
                 }
             state_capture.bind(snapshot)
 
+        hook_wants_stats = getattr(iteration_hook, "wants_stats", False)
         for t in range(start, n_iterations):
             momentum = rng.normal(size=dim) / np.sqrt(inv_mass)
             joint0 = logp - kinetic_energy(momentum, inv_mass)
@@ -147,7 +148,8 @@ class HMC:
                 joint_prop = logp_prop - kinetic_energy(p_prop, inv_mass)
                 accept_prob = float(min(1.0, np.exp(joint_prop - joint0)))
 
-            if rng.uniform() < accept_prob:
+            accepted = rng.uniform() < accept_prob
+            if accepted:
                 x, logp, grad = x_prop, logp_prop, grad_prop
                 accepts += 1
 
@@ -173,9 +175,22 @@ class HMC:
             elif t == n_warmup:
                 step = adapter.adapted_step_size
 
-            if iteration_hook is not None and not iteration_hook(t, samples[t]):
-                n_iterations = t + 1
-                break
+            if iteration_hook is not None:
+                if hook_wants_stats:
+                    keep_going = iteration_hook(t, samples[t], {
+                        "work": work[t],
+                        "divergent": diverged,
+                        # The binary acceptance matches the snapshot's
+                        # cumulative ``accepts`` scalar, which seeds resumed
+                        # telemetry.
+                        "accept": 1.0 if accepted else 0.0,
+                        "step_size": step,
+                    })
+                else:
+                    keep_going = iteration_hook(t, samples[t])
+                if not keep_going:
+                    n_iterations = t + 1
+                    break
 
         return ChainResult(
             samples=samples[:n_iterations],

@@ -74,6 +74,7 @@ class MetropolisHastings:
                 }
             state_capture.bind(snapshot)
 
+        hook_wants_stats = getattr(iteration_hook, "wants_stats", False)
         for t in range(start, n_iterations):
             # Line 4 of Algorithm 1: draw from the proposal density q.
             proposal = x + scale * rng.normal(size=dim)
@@ -96,9 +97,18 @@ class MetropolisHastings:
                 scale *= np.exp((accepted - self.target_accept) / np.sqrt(t + 1.0))
                 scale = float(np.clip(scale, 1e-6, 1e3))
 
-            if iteration_hook is not None and not iteration_hook(t, samples[t]):
-                n_iterations = t + 1
-                break
+            if iteration_hook is not None:
+                if hook_wants_stats:
+                    keep_going = iteration_hook(t, samples[t], {
+                        "work": 1.0,
+                        "accept": accepted,
+                        "step_size": scale,
+                    })
+                else:
+                    keep_going = iteration_hook(t, samples[t])
+                if not keep_going:
+                    n_iterations = t + 1
+                    break
 
         return ChainResult(
             samples=samples[:n_iterations],

@@ -143,6 +143,7 @@ class NUTS:
                 }
             state_capture.bind(snapshot)
 
+        hook_wants_stats = getattr(iteration_hook, "wants_stats", False)
         for t in range(start, n_iterations):
             momentum = rng.normal(size=dim) / np.sqrt(inv_mass)
             joint0 = logp - kinetic_energy(momentum, inv_mass)
@@ -230,9 +231,20 @@ class NUTS:
             elif t == n_warmup:
                 step = adapter.adapted_step_size
 
-            if iteration_hook is not None and not iteration_hook(t, samples[t]):
-                n_iterations = t + 1
-                break
+            if iteration_hook is not None:
+                if hook_wants_stats:
+                    keep_going = iteration_hook(t, samples[t], {
+                        "work": work[t],
+                        "tree_depth": depth,
+                        "divergent": diverged,
+                        "accept": accept_prob,
+                        "step_size": step,
+                    })
+                else:
+                    keep_going = iteration_hook(t, samples[t])
+                if not keep_going:
+                    n_iterations = t + 1
+                    break
 
         return ChainResult(
             samples=samples[:n_iterations],

@@ -13,7 +13,56 @@ import numpy as np
 #: run. Because each chain consumes its RNG stream strictly in iteration
 #: order, the truncated output is bit-identical to a prefix of the full run —
 #: the property :mod:`repro.serve` relies on for mid-run elision.
+#:
+#: **Stats extension.** A hook carrying a truthy ``wants_stats`` attribute is
+#: instead called as ``hook(t, draw, stats)`` where ``stats`` is a small dict
+#: of that iteration's sampler statistics: always ``work`` (gradient or
+#: log-density evaluations) and ``accept`` (the iteration's acceptance
+#: statistic), plus ``divergent``, ``tree_depth`` (NUTS), and ``step_size``
+#: where the engine has them. Samplers check ``wants_stats`` once before the
+#: loop and build the dict only when asked, so plain hooks and uninstrumented
+#: runs pay nothing — the no-op fast path :mod:`repro.telemetry` budgets on.
 IterationHook = Optional[Callable[[int, np.ndarray], bool]]
+
+
+class _ComposedHook:
+    """Fan one iteration-hook call out to several hooks.
+
+    Advertises ``wants_stats`` when any member wants stats; members that
+    don't are still called with the two-argument form. The chain continues
+    only if every hook says to continue.
+    """
+
+    def __init__(self, hooks) -> None:
+        self.hooks = tuple(hooks)
+        self.wants_stats = any(
+            getattr(hook, "wants_stats", False) for hook in self.hooks
+        )
+
+    def __call__(self, t, draw, stats=None) -> bool:
+        keep_going = True
+        for hook in self.hooks:
+            if getattr(hook, "wants_stats", False):
+                ok = hook(t, draw, stats)
+            else:
+                ok = hook(t, draw)
+            keep_going = keep_going and bool(ok)
+        return keep_going
+
+
+def compose_hooks(*hooks: IterationHook) -> IterationHook:
+    """Combine iteration hooks; ``None`` members are dropped.
+
+    Every hook sees every iteration (no short-circuiting — a telemetry hook
+    must observe the final iteration even when a control hook stops the
+    chain there); the chain stops if any hook returns ``False``.
+    """
+    present = [hook for hook in hooks if hook is not None]
+    if not present:
+        return None
+    if len(present) == 1:
+        return present[0]
+    return _ComposedHook(present)
 
 
 class StateCapture:

@@ -76,6 +76,7 @@ class SliceSampler:
                 }
             state_capture.bind(snapshot)
 
+        hook_wants_stats = getattr(iteration_hook, "wants_stats", False)
         for t in range(start, n_iterations):
             iteration_evals = 0
             for k in range(dim):
@@ -132,9 +133,19 @@ class SliceSampler:
             work[t] = iteration_evals
             evals += iteration_evals
 
-            if iteration_hook is not None and not iteration_hook(t, samples[t]):
-                n_iterations = t + 1
-                break
+            if iteration_hook is not None:
+                if hook_wants_stats:
+                    keep_going = iteration_hook(t, samples[t], {
+                        "work": iteration_evals,
+                        # Slice sampling always lands in the slice.
+                        "accept": 1.0,
+                        "step_size": float(widths.mean()),
+                    })
+                else:
+                    keep_going = iteration_hook(t, samples[t])
+                if not keep_going:
+                    n_iterations = t + 1
+                    break
 
         return ChainResult(
             samples=samples[:n_iterations],

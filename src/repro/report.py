@@ -18,6 +18,12 @@ from repro.arch.platforms import BROADWELL, SKYLAKE, Platform
 from repro.core.elision import ConvergenceDetector
 from repro.core.pipeline import SuiteRunner, evaluate_overall
 from repro.suite import table_one, workload_names
+from repro.telemetry import TelemetrySnapshot, get_registry, get_tracer
+from repro.telemetry.instrument import (
+    SAMPLER_DIVERGENCES,
+    SAMPLER_ITERATIONS,
+    SAMPLER_WORK,
+)
 
 
 def _table(header: List[str], rows: List[List[str]]) -> str:
@@ -69,6 +75,72 @@ def _characterization_table(runner: SuiteRunner, platform: Platform) -> str:
     )
 
 
+def _telemetry_section(snapshot: TelemetrySnapshot) -> List[str]:
+    """Measured runtime counters and phase spans, when any were recorded.
+
+    Everything here is *measured* at run time, in contrast to the
+    characterization table's static (model-based) estimates — the
+    ``source`` tag on :class:`~repro.arch.profile.WorkloadProfile` marks
+    that distinction at the data level; this section keeps it visible in
+    the rendered report.
+    """
+    if snapshot.empty:
+        return [
+            "## Runtime telemetry",
+            "",
+            "No runtime telemetry was recorded for this run (enable with "
+            "`REPRO_TELEMETRY=1` or `repro.telemetry.enable()`).",
+            "",
+        ]
+
+    per_workload: dict = {}
+    for entry in snapshot.metrics.get("counters", []):
+        labels = dict(tuple(pair) for pair in entry["labels"])
+        workload = labels.get("workload")
+        if workload is None:
+            continue
+        row = per_workload.setdefault(workload, {})
+        row[entry["name"]] = row.get(entry["name"], 0.0) + entry["value"]
+
+    lines = ["## Runtime telemetry (measured)", ""]
+    if per_workload:
+        rows = []
+        for workload in sorted(per_workload):
+            row = per_workload[workload]
+            iterations = row.get(SAMPLER_ITERATIONS, 0.0)
+            work = row.get(SAMPLER_WORK, 0.0)
+            rows.append([
+                workload,
+                f"{iterations:,.0f}",
+                f"{work:,.0f}",
+                f"{work / iterations:.1f}" if iterations else "-",
+                f"{row.get(SAMPLER_DIVERGENCES, 0.0):,.0f}",
+            ])
+        lines.extend([
+            _table(
+                ["workload", "iterations", "grad/logp evals", "evals/iter",
+                 "divergences"],
+                rows,
+            ),
+            "",
+        ])
+
+    by_phase: dict = {}
+    for span in snapshot.spans:
+        count, seconds = by_phase.get(span["name"], (0, 0.0))
+        by_phase[span["name"]] = (count + 1, seconds + span["duration_s"])
+    if by_phase:
+        rows = [
+            [name, str(count), f"{seconds:.2f}"]
+            for name, (count, seconds) in sorted(by_phase.items())
+        ]
+        lines.extend([
+            _table(["phase", "spans", "total s"], rows),
+            "",
+        ])
+    return lines
+
+
 def _speedup_table(runner: SuiteRunner) -> tuple[str, float]:
     results = evaluate_overall(runner, detector=ConvergenceDetector())
     rows = []
@@ -91,10 +163,21 @@ def _speedup_table(runner: SuiteRunner) -> tuple[str, float]:
 def generate_report(
     runner: Optional[SuiteRunner] = None,
     title: str = "BayesSuite reproduction report",
+    telemetry_snapshot: Optional[TelemetrySnapshot] = None,
 ) -> str:
-    """Build the full Markdown report (runs the suite if not cached)."""
+    """Build the full Markdown report (runs the suite if not cached).
+
+    ``telemetry_snapshot`` defaults to a capture of the process-global
+    registry and tracer *after* the suite runs, so anything the run
+    recorded (spans always, sampler counters when telemetry is enabled)
+    appears in the report's measured section.
+    """
     runner = runner or SuiteRunner()
     speedups, average = _speedup_table(runner)
+    if telemetry_snapshot is None:
+        telemetry_snapshot = TelemetrySnapshot.capture(
+            get_registry(), get_tracer()
+        )
     sections = [
         f"# {title}",
         "",
@@ -110,7 +193,11 @@ def generate_report(
         "",
         _platform_table(),
         "",
-        "## Characterization at 4 cores (Skylake)",
+        "## Characterization at 4 cores (Skylake) — static estimates",
+        "",
+        "All numbers below are model-based (`WorkloadProfile.source == "
+        '"static"`); measured runtime counters are reported separately '
+        "under *Runtime telemetry*.",
         "",
         _characterization_table(runner, SKYLAKE),
         "",
@@ -121,6 +208,7 @@ def generate_report(
         f"**Average speedup over the Broadwell baseline: {average:.2f}x** "
         "(paper: 5.8x).",
         "",
+        *_telemetry_section(telemetry_snapshot),
     ]
     return "\n".join(sections)
 

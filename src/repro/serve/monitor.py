@@ -17,10 +17,21 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.elision import RHAT_THRESHOLD, OnlineRhat
+from repro.telemetry.instrument import (
+    MONITOR_CHECKS,
+    MONITOR_CONVERGED_KEPT,
+    MONITOR_RHAT,
+    help_for,
+)
 
 
 class ConvergenceMonitor:
-    """Feed post-warmup draws in; get a stop decision out."""
+    """Feed post-warmup draws in; get a stop decision out.
+
+    With a ``registry``, every checkpoint evaluation streams into telemetry:
+    the latest max R-hat as a gauge (labelled by ``job_id``), a checkpoint
+    counter, and — once — the kept iteration at which the monitor converged.
+    """
 
     def __init__(
         self,
@@ -29,6 +40,8 @@ class ConvergenceMonitor:
         rhat_threshold: float = RHAT_THRESHOLD,
         check_interval: int = 20,
         min_kept: int = 40,
+        registry=None,
+        job_id: Optional[str] = None,
     ) -> None:
         if n_chains < 2:
             raise ValueError("convergence monitoring requires >= 2 chains")
@@ -42,6 +55,8 @@ class ConvergenceMonitor:
         self.checkpoints: List[int] = []
         self.rhat_trace: List[float] = []
         self.converged_kept: Optional[int] = None
+        self._labels = {"job": job_id} if job_id else None
+        self._registry = registry
 
     @property
     def converged(self) -> bool:
@@ -76,10 +91,26 @@ class ConvergenceMonitor:
             rhat = self._online.rhat_at(self._next_check)
             self.checkpoints.append(self._next_check)
             self.rhat_trace.append(rhat)
+            self._record(rhat)
             if rhat < self.rhat_threshold and not self.converged:
                 self.converged_kept = self._next_check
                 decided = self._next_check
+                if self._registry is not None:
+                    self._registry.gauge(
+                        MONITOR_CONVERGED_KEPT, self._labels,
+                        help=help_for(MONITOR_CONVERGED_KEPT),
+                    ).set(self._next_check)
             self._next_check += self.check_interval
             if decided is not None:
                 break
         return decided
+
+    def _record(self, rhat: float) -> None:
+        if self._registry is None:
+            return
+        self._registry.gauge(
+            MONITOR_RHAT, self._labels, help=help_for(MONITOR_RHAT)
+        ).set(rhat)
+        self._registry.counter(
+            MONITOR_CHECKS, self._labels, help=help_for(MONITOR_CHECKS)
+        ).inc()

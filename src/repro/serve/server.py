@@ -50,13 +50,21 @@ from repro.inference.results import SamplingResult
 from repro.serve.checkpoint import CheckpointStore
 from repro.serve.job import ElisionSummary, Job, JobSpec, JobState, Placement
 from repro.serve.monitor import ConvergenceMonitor
-from repro.serve.queue import JobQueue
+from repro.serve.queue import AdmissionError, JobQueue
 from repro.serve.store import ResultStore, StoredResult
 from repro.serve.workers import (
     ChainExecutionError,
     ChainWorkerPool,
     chain_tasks,
     truncate_chain,
+)
+from repro.telemetry.exposition import write_metrics_file
+from repro.telemetry.instrument import (
+    SERVE_ADMISSION_REJECTIONS,
+    SERVE_JOB_RETRIES,
+    SERVE_JOBS,
+    SERVE_QUEUE_DEPTH,
+    help_for,
 )
 
 
@@ -118,13 +126,26 @@ class InferenceServer:
         #: end callback also fires on RETRYING attempts).
         on_job_start: Optional[Callable[[Job], None]] = None,
         on_job_finish: Optional[Callable[[Job], None]] = None,
+        #: Telemetry sinks. The serving layer is always instrumented: both
+        #: default to the process-global registry/tracer so worker metrics,
+        #: monitor gauges and server counters land in one namespace.
+        registry=None,
+        tracer=None,
+        #: Prometheus text file rewritten atomically after every attempt.
+        metrics_file: Optional[str] = None,
     ) -> None:
+        from repro import telemetry
+
+        self.registry = registry if registry is not None else telemetry.get_registry()
+        self.tracer = tracer if tracer is not None else telemetry.get_tracer()
+        self.metrics_file = metrics_file
         # `is None` checks: JobQueue and ResultStore are sized containers,
         # so a freshly injected (empty) one is falsy.
         self.queue = queue if queue is not None else JobQueue(max_pending=max_pending)
         self.store = store if store is not None else ResultStore()
         self.pool = pool if pool is not None else ChainWorkerPool(
-            n_workers=n_workers, start_method=start_method
+            n_workers=n_workers, start_method=start_method,
+            registry=self.registry,
         )
         self.checkpoint_dir = checkpoint_dir
         self.placement = placement
@@ -143,6 +164,12 @@ class InferenceServer:
         #: (due_monotonic, seq, job) min-heap of jobs waiting out a backoff.
         self._retries: List[Tuple[float, int, Job]] = []
         self._retry_seq = 0
+        self._queue_depth = self.registry.gauge(
+            SERVE_QUEUE_DEPTH, help=help_for(SERVE_QUEUE_DEPTH)
+        )
+        self._admission_rejections = self.registry.counter(
+            SERVE_ADMISSION_REJECTIONS, help=help_for(SERVE_ADMISSION_REJECTIONS)
+        )
 
     # -- submission ------------------------------------------------------------
 
@@ -174,11 +201,28 @@ class InferenceServer:
             job.elision = stored.elision
             job.transition(JobState.DONE)
             self.jobs[job.job_id] = job
+            self._count_terminal(job)
             return job
 
-        job = self.queue.push(Job(spec))
+        try:
+            job = self.queue.push(Job(spec))
+        except AdmissionError:
+            self._admission_rejections.inc()
+            raise
         self.jobs.setdefault(job.job_id, job)
+        self._queue_depth.set(len(self.queue))
         return job
+
+    # -- telemetry -------------------------------------------------------------
+
+    def _count_terminal(self, job: Job) -> None:
+        self.registry.counter(
+            SERVE_JOBS, {"state": job.state.value}, help=help_for(SERVE_JOBS)
+        ).inc()
+
+    def _publish_metrics(self) -> None:
+        if self.metrics_file is not None:
+            write_metrics_file(self.metrics_file, self.registry)
 
     # -- placement -------------------------------------------------------------
 
@@ -283,12 +327,17 @@ class InferenceServer:
             return None
         job.attempts += 1
         job.transition(JobState.RUNNING)
+        self._queue_depth.set(len(self.queue))
         if self.on_job_start is not None:
             self.on_job_start(job)
         try:
             self._execute(job)
         except Exception as exc:
             self._handle_failure(job, exc)
+        if job.state.terminal:
+            self._count_terminal(job)
+            self.pool.discard_job_metrics(job.job_id)
+        self._publish_metrics()
         if self.on_job_finish is not None:
             self.on_job_finish(job)
         return job
@@ -298,6 +347,11 @@ class InferenceServer:
         kind = classify_failure(exc)
         job.failure_kind = kind
         job.attempt_errors.append(traceback.format_exc())
+        if job.attempts < self.retry_policy.max_attempts:
+            self.registry.counter(
+                SERVE_JOB_RETRIES, {"kind": kind},
+                help=help_for(SERVE_JOB_RETRIES),
+            ).inc()
         if job.attempts >= self.retry_policy.max_attempts:
             job.fail(
                 f"failed after {job.attempts} attempt(s) "
@@ -318,8 +372,12 @@ class InferenceServer:
 
         profile: Optional[WorkloadProfile] = None
         if self.placement:
-            profile = self._profile(spec)
-            job.placement = self._place(profile)
+            with self.tracer.span(
+                "serve.place", job=job.job_id, workload=spec.workload
+            ) as attrs:
+                profile = self._profile(spec)
+                job.placement = self._place(profile)
+                attrs["platform"] = job.placement.platform
 
         monitor: Optional[ConvergenceMonitor] = None
         if spec.elide and spec.n_chains >= 2:
@@ -329,6 +387,8 @@ class InferenceServer:
                 rhat_threshold=spec.rhat_threshold,
                 check_interval=spec.check_interval,
                 min_kept=spec.min_kept,
+                registry=self.registry,
+                job_id=job.job_id,
             )
 
         def on_draws(chain_index, kept_block):
@@ -349,13 +409,19 @@ class InferenceServer:
             and job.failure_kind == "transient"
             and self.checkpoint_dir is not None
         )
-        chains = self.pool.run_job(
-            chain_tasks(spec, job.job_id, self.checkpoint_dir, resume=resume),
-            on_draws=on_draws,
-            on_chain_restart=(
-                monitor.reset_chain if monitor is not None else None
-            ),
-        )
+        with self.tracer.span(
+            "serve.execute", job=job.job_id, workload=spec.workload,
+            engine=spec.engine, n_chains=spec.n_chains,
+            attempt=job.attempts, resume=resume,
+        ) as attrs:
+            chains = self.pool.run_job(
+                chain_tasks(spec, job.job_id, self.checkpoint_dir, resume=resume),
+                on_draws=on_draws,
+                on_chain_restart=(
+                    monitor.reset_chain if monitor is not None else None
+                ),
+            )
+            attrs["elided"] = monitor is not None and monitor.converged
 
         elided = monitor is not None and monitor.converged
         if elided:
@@ -382,15 +448,16 @@ class InferenceServer:
             job.simulated_seconds = scheduled.seconds
             job.baseline_seconds = scheduled.baseline_seconds
 
-        self.store.put(
-            spec.key(),
-            StoredResult(
-                spec=spec,
-                result=job.result,
-                placement=job.placement,
-                elision=job.elision,
-            ),
-        )
+        with self.tracer.span("serve.store", job=job.job_id):
+            self.store.put(
+                spec.key(),
+                StoredResult(
+                    spec=spec,
+                    result=job.result,
+                    placement=job.placement,
+                    elision=job.elision,
+                ),
+            )
         job.transition(JobState.CONVERGED if elided else JobState.DONE)
         if self.checkpoint_dir is not None:
             # The result is stored; the partial-progress safety net served

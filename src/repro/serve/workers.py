@@ -55,10 +55,22 @@ import numpy as np
 from repro.inference.chain import chain_start
 from repro.inference.engines import build_engine
 from repro.inference.results import ChainResult, SamplingResult, StateCapture
+from repro.telemetry.instrument import (
+    SERVE_CHAIN_RETRIES,
+    SERVE_WORKER_RESTARTS,
+    ChainMetricsMerger,
+    ChainTelemetry,
+    help_for,
+)
 
 #: Draw-block size streamed to the monitor when elision is off: one flush at
 #: the end of the chain keeps the event queue quiet.
 _NO_MONITOR_INTERVAL = 1 << 30
+
+#: Default iterations between worker metric flushes. Flushes are cumulative
+#: snapshots (a few hundred bytes), so the cadence trades only freshness
+#: against event-queue traffic, never correctness.
+DEFAULT_METRICS_INTERVAL = 50
 
 
 class PoisonChainError(RuntimeError):
@@ -93,6 +105,8 @@ class ChainTask:
     #: Incarnation counter; bumped on every re-queue after a lost worker so
     #: the parent can tell this run's events from a dead predecessor's.
     epoch: int = 0
+    #: Iterations between telemetry flushes (0 disables chain telemetry).
+    metrics_interval: int = DEFAULT_METRICS_INTERVAL
 
 
 class ChainExecutionError(RuntimeError):
@@ -168,6 +182,7 @@ def execute_chain(
     emit: Optional[Callable[[int, np.ndarray], None]] = None,
     stop_iteration: Optional[Callable[[], int]] = None,
     heartbeat: Optional[Callable[[], None]] = None,
+    emit_metrics: Optional[Callable[[dict], None]] = None,
 ) -> ChainResult:
     """Run one chain exactly as the sequential driver would.
 
@@ -179,6 +194,12 @@ def execute_chain(
     checkpoint's sampler state and re-emits the restored kept prefix (its
     draws are bit-identical to the lost run's, so downstream monitors see
     exactly the stream an uninterrupted run would have produced).
+
+    ``emit_metrics(payload)`` periodically receives cumulative chain
+    statistics (every ``task.metrics_interval`` iterations and once at the
+    end); payloads are cumulative-through-iteration snapshots, so the
+    parent's :class:`~repro.telemetry.instrument.ChainMetricsMerger` can
+    merge them across crashes and resumes without double counting.
     """
     from repro.serve.checkpoint import CheckpointStore
     from repro.serve.faults import FaultInjector, _IterationClock
@@ -210,13 +231,23 @@ def execute_chain(
     )
     capture = StateCapture()
     pending: List[np.ndarray] = []
+    chain_telemetry = (
+        ChainTelemetry(
+            task.workload, task.engine, emit_metrics,
+            flush_interval=task.metrics_interval,
+        )
+        if emit_metrics is not None and task.metrics_interval > 0
+        else None
+    )
 
-    def hook(t: int, draw: np.ndarray) -> bool:
+    def hook(t: int, draw: np.ndarray, stats: Optional[dict] = None) -> bool:
         clock.t = t + 1
         if heartbeat is not None:
             heartbeat()
         if injector is not None:
             injector.on_iteration(task.job_id, task.chain_index, t)
+        if chain_telemetry is not None and stats is not None:
+            chain_telemetry.observe(t, stats)
         stop = -1 if stop_iteration is None else int(stop_iteration())
         stopping = 0 <= stop <= t + 1
         last = stopping or t + 1 == task.n_iterations
@@ -230,7 +261,7 @@ def execute_chain(
             (t + 1) % task.checkpoint_interval == 0 or last
         ):
             state = capture()
-            checkpoints.save_chain(
+            path = checkpoints.save_chain(
                 task.job_id, task.chain_index,
                 samples=state["samples"],
                 iteration=t, n_warmup=task.n_warmup,
@@ -240,9 +271,24 @@ def execute_chain(
                 tree_depths=state.get("tree_depths"),
                 sampler_state=state,
             )
+            if chain_telemetry is not None:
+                chain_telemetry.count_op("checkpoint_writes", 1)
+                try:
+                    chain_telemetry.count_op(
+                        "checkpoint_bytes", os.path.getsize(path)
+                    )
+                except OSError:
+                    pass
         return not stopping
 
+    hook.wants_stats = chain_telemetry is not None
+
     resume_state = _load_resume_state(task)
+    if resume_state is not None and chain_telemetry is not None:
+        # Reconstruct cumulative stats through the checkpoint so the resumed
+        # chain's snapshots carry the same watermark values the lost run's
+        # did — the merger then counts the overlap exactly once.
+        chain_telemetry.seed_from_resume(resume_state)
     if resume_state is not None and emit is not None:
         # The monitor was reset for this chain; replay the restored kept
         # prefix so it sees the same stream an uninterrupted run emits.
@@ -252,11 +298,14 @@ def execute_chain(
         if len(kept_prefix):
             emit(task.chain_index, kept_prefix.copy())
 
-    return sampler.sample_chain(
+    chain = sampler.sample_chain(
         model, x0, task.n_iterations, rng,
         n_warmup=task.n_warmup, iteration_hook=hook,
         state_capture=capture, resume_state=resume_state,
     )
+    if chain_telemetry is not None:
+        chain_telemetry.flush(final=True)
+    return chain
 
 
 def truncate_chain(chain: ChainResult, n_iterations: int) -> ChainResult:
@@ -315,6 +364,7 @@ def _worker_loop(
                     worker_id,
                 ))
 
+        started_at = time.monotonic()
         try:
             chain = execute_chain(
                 task,
@@ -323,7 +373,21 @@ def _worker_loop(
                 ),
                 stop_iteration=lambda: stop_value.value,
                 heartbeat=heartbeat,
+                emit_metrics=lambda payload: events.put(
+                    ("metrics", task.job_id, task.chain_index, task.epoch,
+                     payload)
+                ),
             )
+            # Wall-time is an operational delta, not a cumulative chain
+            # statistic: a replayed chain genuinely spends the time again.
+            events.put((
+                "metrics", task.job_id, task.chain_index, task.epoch,
+                {
+                    "labels": {"workload": task.workload, "engine": task.engine},
+                    "cum": None,
+                    "ops": {"chain_seconds": time.monotonic() - started_at},
+                },
+            ))
             events.put(("done", task.job_id, task.chain_index, task.epoch, chain))
         except Exception:
             # In-chain exceptions are deterministic under replay: poison.
@@ -359,6 +423,7 @@ class ChainWorkerPool:
         heartbeat_interval: float = 1.0,
         heartbeat_timeout: Optional[float] = None,
         max_chain_restarts: int = 2,
+        registry=None,
     ) -> None:
         self.n_workers = n_workers or min(4, os.cpu_count() or 1)
         if self.n_workers < 1:
@@ -382,6 +447,18 @@ class ChainWorkerPool:
         self._last_seen: Dict[int, float] = {}
         #: Worker deaths noticed by supervision since pool start.
         self.restarted_workers = 0
+        if registry is None:
+            from repro import telemetry
+
+            registry = telemetry.get_registry()
+        self.registry = registry
+        self._merger = ChainMetricsMerger(registry)
+        self._worker_restarts = registry.counter(
+            SERVE_WORKER_RESTARTS, help=help_for(SERVE_WORKER_RESTARTS)
+        )
+        self._chain_retries = registry.counter(
+            SERVE_CHAIN_RETRIES, help=help_for(SERVE_CHAIN_RETRIES)
+        )
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -495,6 +572,13 @@ class ChainWorkerPool:
                 kind, ev_job, chain_index, epoch, payload = event
                 if kind == "heartbeat":
                     self._last_seen[payload] = time.monotonic()
+                elif kind == "metrics":
+                    # No epoch filter: cumulative blocks are path-independent,
+                    # so a dead predecessor's buffered block merges exactly
+                    # once by watermark. Other jobs' blocks are dropped —
+                    # their watermarks may already be discarded.
+                    if ev_job == job_id:
+                        self._merger.merge(ev_job, chain_index, payload)
                 elif ev_job != job_id or epoch != epochs.get(chain_index):
                     pass  # stale: a dead predecessor's buffered event
                 elif kind == "draws":
@@ -552,6 +636,7 @@ class ChainWorkerPool:
                     resume_from=resume_from,
                 )
                 task_by_chain[lost] = new_task
+                self._chain_retries.inc()
                 if on_chain_restart is not None:
                     on_chain_restart(lost)
                 self._tasks.put(new_task)
@@ -559,6 +644,10 @@ class ChainWorkerPool:
         if errors:
             raise ChainExecutionError(job_id, errors, kinds)
         return [chains[task.chain_index] for task in tasks]
+
+    def discard_job_metrics(self, job_id: str) -> None:
+        """Drop a finished job's merge watermarks (its counters stay)."""
+        self._merger.discard_job(job_id)
 
     def _sweep(self, now: float, resolved=()) -> List[int]:
         """Respawn dead/hung workers; return the chains they were holding.
@@ -585,6 +674,7 @@ class ChainWorkerPool:
             claim = self._claims[slot]
             self._claims[slot] = 0
             self.restarted_workers += 1
+            self._worker_restarts.inc()
             self._spawn(slot)
             if claim:
                 lost.append(int(claim) - 1)
@@ -606,11 +696,14 @@ def chain_tasks(
     job_id: str,
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    metrics_interval: int = DEFAULT_METRICS_INTERVAL,
 ) -> List[ChainTask]:
     """Shard a :class:`~repro.serve.job.JobSpec` into per-chain tasks.
 
     With ``resume=True``, chains whose checkpoint carries sampler state pick
     up where the previous attempt stopped instead of re-running from scratch.
+    ``metrics_interval`` sets the chains' telemetry flush cadence (0
+    disables worker-side chain telemetry).
     """
     from repro.serve.checkpoint import CheckpointStore
 
@@ -642,6 +735,7 @@ def chain_tasks(
             resume_from=(
                 store.resume_path(job_id, chain_index) if store else None
             ),
+            metrics_interval=metrics_interval,
         )
         for chain_index in range(spec.n_chains)
     ]

@@ -1,0 +1,137 @@
+"""repro.telemetry — runtime metrics, tracing, and profiling.
+
+The paper is a *characterization* study; this subsystem is what lets the
+reproduction characterize itself at runtime instead of relying on the
+static estimates in :mod:`repro.arch.profile`:
+
+* :mod:`repro.telemetry.metrics` — process-local counters, gauges, and
+  log-bucket histograms with mergeable plain-data snapshots;
+* :mod:`repro.telemetry.tracing` — span tracing with a bounded buffer and
+  JSONL export;
+* :mod:`repro.telemetry.exposition` — Prometheus text rendering, atomic
+  metrics/snapshot files;
+* :mod:`repro.telemetry.instrument` — the sampler/serve instrumentation:
+  stats-aware iteration hooks, cumulative per-chain statistics (the
+  crash-proof cross-process merge), metric name constants.
+
+**Enablement.** The serving layer (:mod:`repro.serve`) is always
+instrumented — a service's observability is not optional, and the cost is
+a few counter adds per sampler iteration. Library-level instrumentation of
+:func:`repro.inference.run_chains` is opt-in through :func:`enable` (or
+``REPRO_TELEMETRY=1``) and has a strict no-op fast path when disabled: no
+hook is installed at all, so a disabled run is bit-and-time-identical to an
+uninstrumented one (``benchmarks/bench_telemetry_overhead.py`` checks
+both budgets).
+
+Module-global default registry/tracer exist for exactly one reason: the
+sampler hot path cannot thread a registry argument through every caller.
+Components that *can* take an explicit registry (the server, the pool, the
+monitor) do, defaulting to the global one.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.telemetry.exposition import (
+    read_snapshot,
+    render_prometheus,
+    write_metrics_file,
+    write_snapshot,
+)
+from repro.telemetry.instrument import (
+    ChainMetricsMerger,
+    ChainStats,
+    ChainTelemetry,
+    SamplerInstrument,
+    TelemetrySnapshot,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_buckets,
+)
+from repro.telemetry.tracing import Span, Tracer, read_jsonl
+
+_registry = MetricsRegistry()
+_tracer = Tracer()
+_enabled = os.environ.get("REPRO_TELEMETRY", "").strip().lower() in (
+    "1", "true", "on", "yes",
+)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _registry
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer."""
+    return _tracer
+
+
+def enabled() -> bool:
+    """Whether library-level sampler instrumentation is on."""
+    return _enabled
+
+
+def enable() -> None:
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    global _enabled
+    _enabled = False
+
+
+def reset() -> None:
+    """Clear the global registry and tracer (test isolation)."""
+    _registry.clear()
+    _tracer.clear()
+
+
+def sampler_hook(model_name: str, sampler) -> Optional[SamplerInstrument]:
+    """A registry-backed stats hook for one run, or None when disabled.
+
+    ``sampler`` may be an engine name or a sampler instance (its class name
+    is lowercased into the ``engine`` label).
+    """
+    if not _enabled:
+        return None
+    engine = (
+        sampler if isinstance(sampler, str)
+        else type(sampler).__name__.lower()
+    )
+    return SamplerInstrument(_registry, workload=model_name, engine=engine)
+
+
+__all__ = [
+    "ChainMetricsMerger",
+    "ChainStats",
+    "ChainTelemetry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SamplerInstrument",
+    "Span",
+    "TelemetrySnapshot",
+    "Tracer",
+    "disable",
+    "enable",
+    "enabled",
+    "get_registry",
+    "get_tracer",
+    "log_buckets",
+    "read_jsonl",
+    "read_snapshot",
+    "render_prometheus",
+    "reset",
+    "sampler_hook",
+    "write_metrics_file",
+    "write_snapshot",
+]
