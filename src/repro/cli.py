@@ -10,8 +10,11 @@ Small, scriptable entry points over the library's main flows:
 * ``subsample`` — the Section VII-B cache-fitting data-subsampling advice;
 * ``submit`` / ``serve`` — queue sampling jobs and drain them through the
   :mod:`repro.serve` inference service (parallel chains, predictor-driven
-  placement, mid-run elision);
-* ``metrics`` — render the metrics snapshot a ``serve`` run left behind as
+  placement, mid-run elision); ``serve --http PORT`` additionally exposes
+  the :mod:`repro.gateway` HTTP API from the same process, and ``submit
+  --remote URL`` sends the job to such a gateway instead of the local
+  queue file (see ``docs/gateway.md``);
+* ``metrics`` — render one or more recorded metrics snapshots (merged) as
   Prometheus text (see ``docs/telemetry.md``).
 """
 
@@ -100,6 +103,14 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--checkpoint-every", type=int, default=0,
                         help="iterations between chain checkpoints (0: off)")
     submit.add_argument("--queue-dir", default=".repro-serve")
+    submit.add_argument("--remote", default=None, metavar="URL",
+                        help="submit to a gateway (`repro serve --http`) "
+                             "instead of the local queue file")
+    submit.add_argument("--token", default=None,
+                        help="bearer token for --remote")
+    submit.add_argument("--wait", action="store_true",
+                        help="with --remote: block until the job is "
+                             "terminal and print its summary")
 
     serve = sub.add_parser(
         "serve", help="run queued jobs through the inference service"
@@ -119,14 +130,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="Prometheus text file, rewritten atomically "
                             "after every job attempt (for a textfile "
                             "collector to scrape)")
+    serve.add_argument("--http", type=int, default=None, metavar="PORT",
+                       help="also serve the gateway HTTP API on this port "
+                            "(0 picks an ephemeral port) while draining; "
+                            "runs until interrupted")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address for --http")
+    serve.add_argument("--token", action="append", default=None,
+                       dest="tokens", metavar="TOKEN",
+                       help="bearer token accepted by --http (repeatable; "
+                            "no --token disables auth)")
+    serve.add_argument("--rate-limit", type=float, default=None,
+                       help="per-token request rate for --http "
+                            "(requests/second; off by default)")
+    serve.add_argument("--burst", type=int, default=None,
+                       help="rate-limiter burst capacity "
+                            "(default: ceil(rate))")
 
     metrics = sub.add_parser(
         "metrics", help="render recorded serve metrics as Prometheus text"
     )
     metrics.add_argument("--queue-dir", default=".repro-serve")
-    metrics.add_argument("--snapshot", default=None,
-                         help="explicit snapshot file "
-                              "(default: <queue-dir>/metrics.json)")
+    metrics.add_argument("--snapshot", action="append", default=None,
+                         dest="snapshots", metavar="PATH",
+                         help="snapshot file (repeatable: multiple "
+                              "snapshots are merged — counters and "
+                              "histograms sum, gauges last-write-win; "
+                              "default: <queue-dir>/metrics.json)")
     return parser
 
 
@@ -272,9 +302,40 @@ def cmd_submit(args) -> int:
         min_kept=args.min_kept,
         checkpoint_interval=args.checkpoint_every,
     )
+    if args.remote:
+        return _submit_remote(args, spec)
     path = _queue_file(args.queue_dir)
     FileJobQueue(path).submit(spec)
     print(f"queued {spec.workload} (key {spec.key()}) in {path}")
+    return 0
+
+
+def _submit_remote(args, spec) -> int:
+    from repro.client import GatewayClient, GatewayError
+
+    client = GatewayClient(args.remote, token=args.token)
+    try:
+        view = client.submit(spec)
+    except GatewayError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    job_id = view["job_id"]
+    print(f"submitted {spec.workload} (key {spec.key()}) to {args.remote} "
+          f"as job {job_id} [{view['state']}]")
+    if not args.wait:
+        return 0
+    view = client.wait(job_id)
+    print(f"job {job_id}: {view['state']} after {view['attempts']} attempt(s)")
+    if view["state"] == "failed":
+        if view.get("error"):
+            print(f"  error: {view['error'].rstrip().splitlines()[-1]}",
+                  file=sys.stderr)
+        return 1
+    result = client.result(job_id)
+    print(f"{'param':<16s} {'mean':>9s} {'sd':>8s} {'rhat':>6s}")
+    for row in result["summary"][:12]:
+        print(f"{row['name']:<16s} {row['mean']:>9.3f} {row['sd']:>8.3f} "
+              f"{row['rhat']:>6.3f}")
     return 0
 
 
@@ -287,9 +348,12 @@ def cmd_serve(args) -> int:
         SERVE_CHAIN_RETRIES, SERVE_JOB_RETRIES, SERVE_WORKER_RESTARTS,
     )
 
+    if args.http is not None:
+        return _serve_http(args)
     if not args.drain:
-        print("repro serve currently supports --drain only "
-              "(run every queued job to completion, then exit)")
+        print("repro serve supports --drain (run every queued job to "
+              "completion, then exit) or --http PORT (expose the gateway "
+              "HTTP API while draining; see docs/gateway.md)")
         return 2
 
     path = _queue_file(args.queue_dir)
@@ -385,20 +449,85 @@ def cmd_serve(args) -> int:
     return 1 if failed else 0
 
 
+def _serve_http(args) -> int:
+    import time
+
+    from repro.gateway import Gateway
+    from repro.serve import (
+        FileJobQueue, InferenceServer, ResultStore, RetryPolicy,
+    )
+    from repro.telemetry.exposition import write_snapshot
+
+    path = _queue_file(args.queue_dir)
+    file_queue = FileJobQueue(path)
+    recovery = file_queue.load() if path.exists() else None
+
+    store = ResultStore(directory=str(path.parent / "results"))
+    server = InferenceServer(
+        n_workers=args.workers,
+        store=store,
+        checkpoint_dir=str(path.parent / "checkpoints"),
+        placement=not args.no_placement,
+        calibration_iterations=args.calibration_iterations,
+        retry_policy=RetryPolicy(max_attempts=args.max_attempts),
+        metrics_file=args.metrics_file,
+    )
+    with server, Gateway(
+        server,
+        host=args.host,
+        port=args.http,
+        tokens=args.tokens,
+        rate_limit=args.rate_limit,
+        burst=args.burst,
+        file_queue=file_queue,
+    ) as gateway:
+        if recovery is not None and recovery.entries:
+            if recovery.orphaned:
+                print(f"recovering {len(recovery.orphaned)} job(s) a "
+                      f"previous server started but never finished")
+            for entry in recovery.entries:
+                gateway.submit(entry.spec, entry_id=entry.entry_id)
+            print(f"re-queued {len(recovery.entries)} submission(s) "
+                  f"from {path}")
+        auth = (f"{len(args.tokens)} bearer token(s)" if args.tokens
+                else "no auth")
+        limit = (f"{args.rate_limit:g} req/s per token" if args.rate_limit
+                 else "no rate limit")
+        print(f"gateway listening on {gateway.url} ({auth}, {limit}); "
+              f"Ctrl-C to stop")
+        try:
+            while True:
+                time.sleep(1.0)
+        except KeyboardInterrupt:
+            print("\nshutting down")
+        snapshot_path = write_snapshot(
+            str(path.parent / "metrics.json"), server.registry
+        )
+        print(f"metrics snapshot in {snapshot_path} "
+              f"(render with `repro metrics`)")
+    return 0
+
+
 def cmd_metrics(args) -> int:
     from pathlib import Path
 
     from repro.telemetry.exposition import read_snapshot, render_prometheus
+    from repro.telemetry.metrics import MetricsRegistry
 
-    snapshot_path = (
-        Path(args.snapshot) if args.snapshot
-        else Path(args.queue_dir) / "metrics.json"
-    )
-    if not snapshot_path.exists():
-        print(f"no metrics snapshot at {snapshot_path}; "
+    paths = [
+        Path(p)
+        for p in (args.snapshots or [Path(args.queue_dir) / "metrics.json"])
+    ]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"no metrics snapshot at "
+              f"{', '.join(str(p) for p in missing)}; "
               f"run `repro serve --drain` first", file=sys.stderr)
         return 1
-    print(render_prometheus(read_snapshot(str(snapshot_path))), end="")
+    merged = MetricsRegistry()
+    for snapshot_path in paths:
+        merged.merge_snapshot(read_snapshot(str(snapshot_path)))
+    print(render_prometheus(merged.snapshot()), end="")
     return 0
 
 

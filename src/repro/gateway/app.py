@@ -1,0 +1,267 @@
+"""The gateway: one process that drains the queue *and* serves HTTP.
+
+:class:`Gateway` wraps an :class:`~repro.serve.server.InferenceServer` with
+a network boundary built entirely on the stdlib (``http.server.
+ThreadingHTTPServer``; the repo's hard constraint is the baked-in
+toolchain). Two thread groups share the server:
+
+* the **drain thread** — the single consumer, looping
+  :meth:`InferenceServer.run_next` exactly as ``repro serve --drain`` does,
+  but forever: an empty queue parks on a wake event instead of exiting;
+* the **handler threads** — one per HTTP connection, submitting into the
+  priority queue (admission control applies: a full queue is a 429 at the
+  front door) and reading job state.
+
+Progress flows the other way through the server's callback seams:
+``on_job_start``/``on_job_finish`` (state transitions) and the
+``on_progress`` hook (per-checkpoint online R-hat, the same stream the
+convergence monitor sees) publish into an :class:`~repro.gateway.sse.
+EventBroker`, which feeds ``GET /v1/jobs/{id}/events`` subscribers. The
+gateway *composes* with callbacks already installed on the server — it
+chains, never replaces.
+
+With a ``file_queue``, every HTTP submission is also appended to the
+durable JSONL log and marked running/finished as the job progresses, so a
+crashed gateway recovers exactly like a crashed ``repro serve``: orphans
+re-run (deterministically, or answered from the result store).
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import ThreadingHTTPServer
+from typing import Dict, List, Optional
+
+from repro.gateway.auth import BearerAuth
+from repro.gateway.ratelimit import RateLimiter
+from repro.gateway.routes import GatewayRequestHandler
+from repro.gateway.sse import EventBroker, JobEvent
+from repro.serve.job import Job, JobSpec, JobState
+from repro.serve.server import InferenceServer
+
+
+class _GatewayHTTPServer(ThreadingHTTPServer):
+    #: SSE connections may be parked in a keep-alive wait at shutdown;
+    #: daemon threads let the process exit instead of hanging on them.
+    daemon_threads = True
+    block_on_close = False
+    #: Set by :class:`Gateway` after construction.
+    gateway: "Gateway"
+
+
+class Gateway:
+    """HTTP front door plus queue drainer over one inference server."""
+
+    def __init__(
+        self,
+        server: InferenceServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        tokens=None,
+        auth: Optional[BearerAuth] = None,
+        rate_limit: Optional[float] = None,
+        burst: Optional[int] = None,
+        file_queue=None,
+        sse_keepalive: float = 15.0,
+        idle_poll: float = 0.05,
+    ) -> None:
+        self.server = server
+        self.registry = server.registry
+        self.tracer = server.tracer
+        self.auth = auth if auth is not None else (
+            BearerAuth(tokens) if tokens else None
+        )
+        self.ratelimit = (
+            RateLimiter(rate_limit, burst, registry=self.registry)
+            if rate_limit is not None else None
+        )
+        self.events = EventBroker()
+        self.file_queue = file_queue
+        self.sse_keepalive = sse_keepalive
+        self.idle_poll = idle_poll
+        #: Durable-queue entry ids riding on each job (duplicates fold).
+        self._entries: Dict[str, List[str]] = {}
+        self._lock = threading.RLock()
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        self._drain_thread: Optional[threading.Thread] = None
+        self._http_thread: Optional[threading.Thread] = None
+        self._chain_callbacks()
+        self.http = _GatewayHTTPServer((host, port), GatewayRequestHandler)
+        self.http.gateway = self
+
+    # -- callback wiring -------------------------------------------------------
+
+    def _chain_callbacks(self) -> None:
+        server = self.server
+        prev_start = server.on_job_start
+        prev_finish = server.on_job_finish
+        prev_progress = server.on_progress
+
+        def on_start(job: Job) -> None:
+            if prev_start is not None:
+                prev_start(job)
+            for entry_id in self._job_entries(job):
+                self.file_queue.mark_running(entry_id)
+            self.events.publish(job.job_id, self._state_event(job))
+
+        def on_finish(job: Job) -> None:
+            if prev_finish is not None:
+                prev_finish(job)
+            if job.state.terminal:
+                for entry_id in self._job_entries(job):
+                    self.file_queue.mark_finished(
+                        entry_id, state=job.state.value
+                    )
+            self.events.publish(job.job_id, self._state_event(job))
+
+        def on_progress(job: Job, event: str, data: Dict) -> None:
+            if prev_progress is not None:
+                prev_progress(job, event, data)
+            payload = {"job_id": job.job_id}
+            payload.update(data)
+            self.events.publish(job.job_id, JobEvent(event=event, data=payload))
+
+        server.on_job_start = on_start
+        server.on_job_finish = on_finish
+        server.on_progress = on_progress
+
+    def _job_entries(self, job: Job) -> List[str]:
+        if self.file_queue is None:
+            return []
+        with self._lock:
+            return list(self._entries.get(job.job_id, ()))
+
+    @staticmethod
+    def _state_event(job: Job) -> JobEvent:
+        data = {
+            "job_id": job.job_id,
+            "state": job.state.value,
+            "attempts": job.attempts,
+        }
+        if job.state is JobState.FAILED and job.error:
+            data["error"] = job.error.rstrip().splitlines()[-1]
+        if job.failure_kind and not job.state.terminal:
+            data["failure_kind"] = job.failure_kind
+        if job.elision is not None and job.elision.elided:
+            data["converged_kept"] = int(job.elision.converged_kept)
+        if job.deduped:
+            data["deduped"] = True
+        return JobEvent(
+            event="state", data=data, terminal=job.state.terminal
+        )
+
+    # -- submission and lookup (handler threads) -------------------------------
+
+    def submit(self, spec: JobSpec, entry_id: Optional[str] = None) -> Job:
+        """Admit a spec; record it durably; publish its first event(s).
+
+        ``entry_id`` links an already-recorded durable-queue entry (startup
+        recovery) instead of appending a fresh one. Raises
+        :class:`~repro.serve.queue.AdmissionError` on a full queue and
+        ``KeyError`` on an unknown workload, exactly like the in-process
+        server.
+        """
+        with self._lock:
+            known = set(self.server.jobs)
+            job = self.server.submit(spec)
+            fresh = job.job_id not in known
+            if self.file_queue is not None:
+                if entry_id is None:
+                    entry_id = self.file_queue.submit(spec)
+                self._entries.setdefault(job.job_id, []).append(entry_id)
+                if job.state.terminal:
+                    # Answered from the result store without running.
+                    self.file_queue.mark_finished(
+                        entry_id, state=job.state.value
+                    )
+        if fresh:
+            self.events.publish(
+                job.job_id,
+                JobEvent(
+                    event="state",
+                    data={
+                        "job_id": job.job_id,
+                        "state": JobState.QUEUED.value,
+                        "attempts": 0,
+                    },
+                ),
+            )
+            if job.state is not JobState.QUEUED:
+                self.events.publish(job.job_id, self._state_event(job))
+        self._wake.set()
+        return job
+
+    def job(self, job_id: str) -> Optional[Job]:
+        return self.server.jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        return list(self.server.jobs.values())
+
+    def health(self) -> Dict:
+        return {
+            "status": "ok",
+            "queued": len(self.server.queue),
+            "jobs": len(self.server.jobs),
+            "draining": bool(
+                self._drain_thread is not None and self._drain_thread.is_alive()
+            ),
+        }
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        return self.http.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self.http.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def _drain_loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.server.run_next()
+            if job is None:
+                # Fully drained (no queued work, no pending retries): park
+                # until a submission wakes us, polling as a backstop.
+                self._wake.wait(timeout=self.idle_poll)
+                self._wake.clear()
+
+    def start(self) -> "Gateway":
+        if self._http_thread is not None:
+            return self
+        self._stop.clear()
+        self._drain_thread = threading.Thread(
+            target=self._drain_loop, name="repro-gateway-drain", daemon=True
+        )
+        self._drain_thread.start()
+        self._http_thread = threading.Thread(
+            target=self.http.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-gateway-http",
+            daemon=True,
+        )
+        self._http_thread.start()
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        self._stop.set()
+        self._wake.set()
+        self.http.shutdown()
+        if self._http_thread is not None:
+            self._http_thread.join(timeout=timeout)
+            self._http_thread = None
+        if self._drain_thread is not None:
+            # run_next blocks for the job in flight; bounded join so stop()
+            # cannot hang forever on a pathological chain.
+            self._drain_thread.join(timeout=timeout)
+            self._drain_thread = None
+        self.http.server_close()
+
+    def __enter__(self) -> "Gateway":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,66 @@
+"""Bearer-token authentication for the gateway.
+
+The gateway is a multi-tenant front door, so every ``/v1`` request carries
+an ``Authorization: Bearer <token>`` header checked against a static token
+set. Tokens double as the tenant identity: the matched token keys the
+per-token rate limiter and (hashed) the rejection telemetry labels, so a
+raw secret never reaches the metrics namespace.
+
+Comparison is constant-time (:func:`hmac.compare_digest`) against every
+configured token — the check cost is bounded by the token count, which is
+operator-configured and small.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Iterable, Optional, Tuple
+
+#: Hex digits of the token digest used as a telemetry label. Enough to tell
+#: tenants apart on a dashboard, useless for recovering the secret.
+_LABEL_DIGEST_LEN = 8
+
+
+def token_label(token: Optional[str]) -> str:
+    """A metrics-safe identifier for a token (``anonymous`` when auth is off)."""
+    if token is None:
+        return "anonymous"
+    digest = hashlib.sha256(token.encode("utf-8")).hexdigest()
+    return digest[:_LABEL_DIGEST_LEN]
+
+
+class BearerAuth:
+    """Static bearer-token check with constant-time comparison."""
+
+    def __init__(self, tokens: Iterable[str]) -> None:
+        cleaned: Tuple[str, ...] = tuple(
+            sorted({token.strip() for token in tokens if token and token.strip()})
+        )
+        if not cleaned:
+            raise ValueError("BearerAuth needs at least one non-empty token")
+        self._tokens = cleaned
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def authenticate(self, authorization: Optional[str]) -> Optional[str]:
+        """The matched token for an ``Authorization`` header, or None.
+
+        Accepts only the ``Bearer <token>`` scheme (case-insensitive scheme
+        word, as HTTP auth schemes are). The *matched* token is returned so
+        callers can key per-tenant state off it.
+        """
+        if not authorization:
+            return None
+        parts = authorization.strip().split(None, 1)
+        if len(parts) != 2 or parts[0].lower() != "bearer":
+            return None
+        presented = parts[1].strip()
+        matched = None
+        # Check every token (no early exit) so timing does not leak which
+        # prefix of the token set the presented value got closest to.
+        for token in self._tokens:
+            if hmac.compare_digest(token, presented):
+                matched = token
+        return matched

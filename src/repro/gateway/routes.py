@@ -1,0 +1,428 @@
+"""HTTP routing and JSON views for the gateway.
+
+The handler is deliberately thin: parse → authenticate → rate-limit →
+dispatch to a view function → serialize. Views are pure functions over
+:class:`~repro.serve.job.Job` so they are unit-testable without a socket.
+
+Routes (all JSON unless noted; see ``docs/gateway.md``):
+
+============================  =================================================
+``POST /v1/jobs``             submit a :class:`JobSpec`; 202 with the job view,
+                              400 on an invalid spec, 429 on ``AdmissionError``
+``GET /v1/jobs``              every job the gateway has seen (newest last)
+``GET /v1/jobs/{id}``         one job: state, attempts, placement, R-hat so far
+``GET /v1/jobs/{id}/result``  posterior summary (+ draws with
+                              ``?include_draws=1``); 409 until terminal
+``GET /v1/jobs/{id}/events``  Server-Sent Events stream (``text/event-stream``)
+``GET /metrics``              Prometheus text exposition of the live registry
+``GET /healthz``              liveness (no auth, no rate limit)
+============================  =================================================
+
+Every request is counted in :data:`~repro.telemetry.instrument.
+GATEWAY_REQUESTS` (labels: method, route template, status), timed into
+:data:`~repro.telemetry.instrument.GATEWAY_REQUEST_SECONDS`, and traced as
+a ``gateway.request`` span. Route labels use the *template* (``/v1/jobs/
+{id}``), never the raw path, so metric cardinality stays bounded.
+"""
+
+from __future__ import annotations
+
+import json
+import queue as queue_module
+import time
+from http.server import BaseHTTPRequestHandler
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.diagnostics.summary import summarize
+from repro.gateway.sse import KEEPALIVE, json_safe
+from repro.serve.job import Job, JobSpec
+from repro.serve.queue import AdmissionError
+from repro.telemetry.instrument import (
+    GATEWAY_REQUEST_SECONDS,
+    GATEWAY_REQUESTS,
+    GATEWAY_SSE_EVENTS,
+    GATEWAY_UNAUTHORIZED,
+    REQUEST_SECONDS_BUCKETS,
+    help_for,
+)
+
+#: Submission bodies above this are rejected outright (a JobSpec is a few
+#: hundred bytes; anything larger is abuse or a client bug).
+MAX_BODY_BYTES = 64 * 1024
+
+
+class ApiError(Exception):
+    """A structured HTTP error a view raises and the handler serializes."""
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.retry_after = retry_after
+
+
+# -- JSON views ----------------------------------------------------------------
+
+
+def placement_view(placement) -> Optional[Dict]:
+    if placement is None:
+        return None
+    return {
+        "platform": placement.platform,
+        "predicted_llc_bound": bool(placement.predicted_llc_bound),
+        "predicted_mpki": float(placement.predicted_mpki),
+        "predictor_fitted": bool(placement.predictor_fitted),
+    }
+
+
+def elision_view(elision) -> Optional[Dict]:
+    if elision is None:
+        return None
+    return {
+        "elided": elision.elided,
+        "budget_kept": int(elision.budget_kept),
+        "converged_kept": (
+            int(elision.converged_kept)
+            if elision.converged_kept is not None else None
+        ),
+        "rhat_threshold": float(elision.rhat_threshold),
+        "checkpoints": [int(k) for k in elision.checkpoints],
+        "rhat_trace": [float(r) for r in elision.rhat_trace],
+        "iterations_saved_fraction": float(elision.iterations_saved_fraction),
+    }
+
+
+def job_view(job: Job, rhat_trace=None) -> Dict:
+    """The status document for one job.
+
+    ``rhat_trace`` is the broker's live (kept, rhat) list — during a run it
+    is ahead of ``job.elision`` (which only exists after the attempt ends).
+    """
+    trace = rhat_trace or []
+    return {
+        "job_id": job.job_id,
+        "key": job.key,
+        "state": job.state.value,
+        "terminal": job.state.terminal,
+        "workload": job.spec.workload,
+        "engine": job.spec.engine,
+        "priority": job.spec.priority,
+        "attempts": job.attempts,
+        "deduped": job.deduped,
+        "failure_kind": job.failure_kind,
+        "error": job.error,
+        "placement": placement_view(job.placement),
+        "elision": elision_view(job.elision),
+        "rhat": (
+            {"kept": trace[-1][0], "value": trace[-1][1]} if trace else None
+        ),
+        "rhat_trace": [
+            {"kept": kept, "value": value} for kept, value in trace
+        ],
+        "spec": job.spec.to_dict(),
+    }
+
+
+def result_view(job: Job, include_draws: bool = False) -> Dict:
+    """The result document: posterior summary, optionally the draws.
+
+    Raises :class:`ApiError` 409 while the job is still in flight and for
+    FAILED jobs (the status view carries the error detail).
+    """
+    if not job.state.terminal:
+        raise ApiError(
+            409, f"job {job.job_id} is {job.state.value}; result not ready"
+        )
+    if job.result is None:
+        raise ApiError(
+            409, f"job {job.job_id} failed; no result (see the job status)"
+        )
+    result = job.result
+    stacked = result.stacked()
+    names = list(result.param_names) or None
+    summary = [
+        {
+            "name": row.name,
+            "mean": row.mean,
+            "sd": row.sd,
+            "q05": row.q05,
+            "q50": row.q50,
+            "q95": row.q95,
+            "ess": row.ess,
+            "rhat": row.rhat,
+        }
+        for row in summarize(stacked, names)
+    ]
+    view = {
+        "job_id": job.job_id,
+        "key": job.key,
+        "state": job.state.value,
+        "model": result.model_name,
+        "param_names": list(result.param_names),
+        "n_chains": result.n_chains,
+        "n_kept": result.n_kept,
+        "n_warmup": int(job.spec.resolved_warmup),
+        "total_work": result.total_work,
+        "divergences": result.divergences,
+        "summary": summary,
+        "elision": elision_view(job.elision),
+        "placement": placement_view(job.placement),
+    }
+    if include_draws:
+        # (n_chains, n_kept, dim) kept draws as nested lists; the client
+        # reassembles a numpy array. JSON floats round-trip exactly (repr
+        # grammar), so a downloaded posterior is bit-identical.
+        view["draws"] = stacked.tolist()
+    return view
+
+
+def parse_job_spec(payload) -> JobSpec:
+    """A validated :class:`JobSpec` from a request body, or 400."""
+    if not isinstance(payload, dict):
+        raise ApiError(400, "request body must be a JSON object of JobSpec fields")
+    try:
+        return JobSpec.from_dict(payload)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ApiError(400, f"invalid job spec: {exc}")
+
+
+def _truthy(values) -> bool:
+    return bool(values) and values[-1].lower() in ("1", "true", "yes", "on")
+
+
+# -- the request handler -------------------------------------------------------
+
+
+class GatewayRequestHandler(BaseHTTPRequestHandler):
+    """Routes one HTTP request; state lives on ``self.server.gateway``."""
+
+    server_version = "repro-gateway/1.0"
+    #: HTTP/1.0 keeps the SSE stream simple: no chunked framing, the end of
+    #: the stream is the end of the connection.
+    protocol_version = "HTTP/1.0"
+
+    # -- plumbing --------------------------------------------------------------
+
+    @property
+    def gateway(self):
+        return self.server.gateway
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # requests are observable through telemetry, not stderr noise
+
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        body = json.dumps(json_safe(payload), sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(max(1, int(retry_after + 0.5))))
+        self.end_headers()
+        if self.command != "HEAD":
+            self.wfile.write(body)
+        self._status = status
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self._status = status
+
+    # -- request entry points --------------------------------------------------
+
+    def do_GET(self) -> None:
+        self._handle("GET")
+
+    def do_POST(self) -> None:
+        self._handle("POST")
+
+    def _handle(self, method: str) -> None:
+        gateway = self.gateway
+        registry = gateway.registry
+        split = urlsplit(self.path)
+        route, handler, needs_auth = self._route(method, split.path)
+        self._status = 500
+        started = time.monotonic()
+        with gateway.tracer.span(
+            "gateway.request", method=method, route=route
+        ) as attrs:
+            try:
+                if handler is None:
+                    raise ApiError(404, f"no route {method} {split.path}")
+                token = None
+                if needs_auth and gateway.auth is not None:
+                    token = gateway.auth.authenticate(
+                        self.headers.get("Authorization")
+                    )
+                    if token is None:
+                        registry.counter(
+                            GATEWAY_UNAUTHORIZED,
+                            help=help_for(GATEWAY_UNAUTHORIZED),
+                        ).inc()
+                        raise ApiError(401, "missing or invalid bearer token")
+                if needs_auth and gateway.ratelimit is not None:
+                    wait = gateway.ratelimit.check(token)
+                    if wait is not None:
+                        raise ApiError(
+                            429, "rate limit exceeded", retry_after=wait
+                        )
+                handler(split)
+            except ApiError as exc:
+                self._send_json(
+                    exc.status, {"error": exc.message},
+                    retry_after=exc.retry_after,
+                )
+            except (BrokenPipeError, ConnectionResetError):
+                self._status = 499  # client went away mid-response
+            except Exception as exc:  # a view bug must not kill the thread
+                try:
+                    self._send_json(500, {"error": f"internal error: {exc}"})
+                except (BrokenPipeError, ConnectionResetError):
+                    pass
+            finally:
+                attrs["status"] = str(self._status)
+                registry.counter(
+                    GATEWAY_REQUESTS,
+                    {
+                        "method": method,
+                        "route": route,
+                        "status": str(self._status),
+                    },
+                    help=help_for(GATEWAY_REQUESTS),
+                ).inc()
+                registry.histogram(
+                    GATEWAY_REQUEST_SECONDS,
+                    {"route": route},
+                    buckets=REQUEST_SECONDS_BUCKETS,
+                    help=help_for(GATEWAY_REQUEST_SECONDS),
+                ).observe(time.monotonic() - started)
+
+    def _route(self, method: str, path: str) -> Tuple[str, Optional[object], bool]:
+        """(route template, bound handler or None, auth required)."""
+        parts = [p for p in path.split("/") if p]
+        if path == "/healthz" and method == "GET":
+            return "/healthz", self._get_healthz, False
+        if path == "/metrics" and method == "GET":
+            return "/metrics", self._get_metrics, False
+        if parts[:2] == ["v1", "jobs"]:
+            if len(parts) == 2:
+                if method == "POST":
+                    return "/v1/jobs", self._post_job, True
+                if method == "GET":
+                    return "/v1/jobs", self._get_jobs, True
+            elif len(parts) == 3 and method == "GET":
+                return "/v1/jobs/{id}", self._get_job, True
+            elif len(parts) == 4 and method == "GET":
+                if parts[3] == "result":
+                    return "/v1/jobs/{id}/result", self._get_result, True
+                if parts[3] == "events":
+                    return "/v1/jobs/{id}/events", self._get_events, True
+        return path, None, True
+
+    # -- route handlers --------------------------------------------------------
+
+    def _read_body(self) -> Dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ApiError(400, "request body required")
+        if length > MAX_BODY_BYTES:
+            raise ApiError(413, f"body larger than {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ApiError(400, f"body is not valid JSON: {exc}")
+
+    def _job_or_404(self, job_id: str) -> Job:
+        job = self.gateway.job(job_id)
+        if job is None:
+            raise ApiError(404, f"no job {job_id!r}")
+        return job
+
+    def _post_job(self, split) -> None:
+        spec = parse_job_spec(self._read_body())
+        try:
+            job = self.gateway.submit(spec)
+        except AdmissionError as exc:
+            raise ApiError(429, str(exc), retry_after=1.0)
+        except KeyError as exc:  # unknown workload
+            raise ApiError(400, str(exc.args[0]) if exc.args else str(exc))
+        view = job_view(job, self.gateway.events.rhat_trace(job.job_id))
+        self._send_json(202, view)
+
+    def _get_jobs(self, split) -> None:
+        jobs = self.gateway.jobs()
+        self._send_json(
+            200,
+            {
+                "jobs": [
+                    job_view(job, self.gateway.events.rhat_trace(job.job_id))
+                    for job in jobs
+                ]
+            },
+        )
+
+    def _get_job(self, split) -> None:
+        job_id = split.path.split("/")[3]
+        job = self._job_or_404(job_id)
+        self._send_json(200, job_view(job, self.gateway.events.rhat_trace(job_id)))
+
+    def _get_result(self, split) -> None:
+        job_id = split.path.split("/")[3]
+        job = self._job_or_404(job_id)
+        include_draws = _truthy(
+            parse_qs(split.query).get("include_draws", [])
+        )
+        self._send_json(200, result_view(job, include_draws=include_draws))
+
+    def _get_metrics(self, split) -> None:
+        from repro.telemetry.exposition import render_prometheus
+
+        text = render_prometheus(self.gateway.registry.snapshot())
+        self._send_text(200, text, "text/plain; version=0.0.4")
+
+    def _get_healthz(self, split) -> None:
+        self._send_json(200, self.gateway.health())
+
+    def _get_events(self, split) -> None:
+        job_id = split.path.split("/")[3]
+        self._job_or_404(job_id)
+        gateway = self.gateway
+        sub = gateway.events.subscribe(job_id)
+        sse_counter = gateway.registry.counter(
+            GATEWAY_SSE_EVENTS, help=help_for(GATEWAY_SSE_EVENTS)
+        )
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+        self._status = 200
+        try:
+            while True:
+                try:
+                    event = sub.get(timeout=gateway.sse_keepalive)
+                except queue_module.Empty:
+                    self.wfile.write(KEEPALIVE)
+                    self.wfile.flush()
+                    continue
+                if event is None:
+                    break
+                self.wfile.write(event.render())
+                self.wfile.flush()
+                sse_counter.inc()
+        finally:
+            gateway.events.unsubscribe(job_id, sub)

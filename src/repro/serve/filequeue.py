@@ -21,12 +21,18 @@ as pending entries.
 
 The log is append-only while a server drains, so a crash at any point
 leaves a replayable record; ``truncate`` clears it once every entry has
-reached a terminal state.
+reached a terminal state. A long-lived gateway never reaches that
+all-terminal moment, so ``load()`` additionally **compacts**: when the
+replayed records outnumber the live (pending + orphaned) entries by more
+than :data:`COMPACT_RATIO`, the log is atomically rewritten to just the
+live entries — finished history is dropped, bounding the file for
+deployments that submit and finish work forever.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import uuid
 import warnings
 from dataclasses import dataclass, field
@@ -34,6 +40,11 @@ from pathlib import Path
 from typing import Dict, List
 
 from repro.serve.job import JobSpec
+
+#: ``load()`` compacts once replayed records exceed this many times the
+#: live entries (4× ≈ the submit/running/finished triple plus slack, so a
+#: healthy in-flight queue is never rewritten on every restart).
+COMPACT_RATIO = 4
 
 
 @dataclass(frozen=True)
@@ -89,16 +100,20 @@ class FileJobQueue:
     def mark_finished(self, entry_id: str, state: str = "done") -> None:
         self._append({"op": "finished", "id": entry_id, "state": state})
 
-    def load(self) -> QueueRecovery:
+    def load(self, compact: bool = True) -> QueueRecovery:
         """Replay the log into pending and orphaned entries.
 
         Unparseable lines (torn writes from a crash mid-append) and specs
         that no longer validate are skipped with a warning rather than
-        blocking the rest of the queue.
+        blocking the rest of the queue. With ``compact=True`` (the
+        default), a log whose replayed records exceed
+        :data:`COMPACT_RATIO` times the live entries is rewritten in place
+        to just those entries, keeping long-lived deployments bounded.
         """
         recovery = QueueRecovery()
         if not self.path.exists():
             return recovery
+        n_records = 0
         specs: Dict[str, JobSpec] = {}
         order: List[str] = []
         started: Dict[str, bool] = {}
@@ -115,6 +130,7 @@ class FileJobQueue:
                     RuntimeWarning,
                 )
                 continue
+            n_records += 1
             try:
                 if "op" not in record:
                     # Legacy format: the line *is* the spec.
@@ -146,7 +162,34 @@ class FileJobQueue:
             (recovery.orphaned if entry.orphaned else recovery.pending).append(
                 entry
             )
+        live = len(recovery.pending) + len(recovery.orphaned)
+        if compact and n_records > COMPACT_RATIO * max(live, 1):
+            self._rewrite(recovery)
         return recovery
+
+    def compact(self) -> QueueRecovery:
+        """Rewrite the log to just its live entries, unconditionally."""
+        recovery = self.load(compact=False)
+        self._rewrite(recovery)
+        return recovery
+
+    def _rewrite(self, recovery: QueueRecovery) -> None:
+        """Atomically replace the log with the recovery's live entries.
+
+        Orphans keep their ``running`` marker so a subsequent replay still
+        classifies them as orphaned; everything finished is dropped.
+        """
+        lines = []
+        for entry in recovery.entries:  # orphans first: admitted earlier
+            lines.append(json.dumps(
+                {"op": "submit", "id": entry.entry_id, "spec": entry.spec.to_dict()}
+            ))
+        for entry in recovery.orphaned:
+            lines.append(json.dumps({"op": "running", "id": entry.entry_id}))
+        content = "".join(line + "\n" for line in lines)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(content)
+        os.replace(tmp, self.path)
 
     def truncate(self) -> None:
         """Clear the log (every entry has reached a terminal state)."""

@@ -5,12 +5,17 @@ Admission control is a hard cap on queued jobs — a service absorbing heavy
 traffic must shed load at the front door, not by collapsing under it — and
 duplicate submissions (same :meth:`JobSpec.key`) are folded onto the already
 queued job instead of occupying a second slot.
+
+The queue is thread-safe: the gateway's HTTP handler threads push while
+the drain thread pops, so every heap/index mutation happens under one
+internal lock (uncontended in the single-threaded CLI path).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import threading
 from typing import Dict, List, Optional
 
 from repro.serve.job import Job, JobState
@@ -30,9 +35,11 @@ class JobQueue:
         self._heap: List[tuple] = []
         self._counter = itertools.count()
         self._by_key: Dict[str, Job] = {}
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._heap)
+        with self._lock:
+            return len(self._heap)
 
     @property
     def full(self) -> bool:
@@ -40,33 +47,37 @@ class JobQueue:
 
     def find_queued(self, key: str) -> Optional[Job]:
         """The queued job with this spec key, if any."""
-        return self._by_key.get(key)
+        with self._lock:
+            return self._by_key.get(key)
 
     def push(self, job: Job) -> Job:
         """Admit a job, or return the queued duplicate it folds onto."""
-        duplicate = self._by_key.get(job.key)
-        if duplicate is not None:
-            return duplicate
-        if self.full:
-            raise AdmissionError(
-                f"queue is full ({self.max_pending} pending jobs); "
-                f"rejecting {job.spec.workload!r}"
+        with self._lock:
+            duplicate = self._by_key.get(job.key)
+            if duplicate is not None:
+                return duplicate
+            if self.full:
+                raise AdmissionError(
+                    f"queue is full ({self.max_pending} pending jobs); "
+                    f"rejecting {job.spec.workload!r}"
+                )
+            heapq.heappush(
+                self._heap, (-job.spec.priority, next(self._counter), job)
             )
-        heapq.heappush(
-            self._heap, (-job.spec.priority, next(self._counter), job)
-        )
-        self._by_key[job.key] = job
-        return job
+            self._by_key[job.key] = job
+            return job
 
     def pop(self) -> Optional[Job]:
         """The highest-priority queued job, or None when drained."""
-        while self._heap:
-            _, _, job = heapq.heappop(self._heap)
-            self._by_key.pop(job.key, None)
-            if job.state is JobState.QUEUED:
-                return job
-        return None
+        with self._lock:
+            while self._heap:
+                _, _, job = heapq.heappop(self._heap)
+                self._by_key.pop(job.key, None)
+                if job.state is JobState.QUEUED:
+                    return job
+            return None
 
     def snapshot(self) -> List[Job]:
         """Queued jobs in pop order (for status displays)."""
-        return [entry[2] for entry in sorted(self._heap)]
+        with self._lock:
+            return [entry[2] for entry in sorted(self._heap)]

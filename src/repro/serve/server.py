@@ -83,10 +83,18 @@ class RetryPolicy:
     poison_backoff: float = 0.0
 
     def backoff(self, kind: str, attempt: int) -> float:
-        """Delay before the next attempt, given ``attempt`` failures so far."""
+        """Delay before the next attempt, given ``attempt`` failures so far.
+
+        Never negative (a negative delay would reorder the retry heap), and
+        safe at any attempt count: the exponent is clamped so a pathological
+        ``max_attempts`` cannot overflow ``2 ** (attempt - 1)`` into an
+        int-to-float conversion error — past ~2**60 the cap wins anyway.
+        """
         if kind == "poison":
-            return self.poison_backoff
-        return min(self.max_backoff, self.base_backoff * 2 ** (attempt - 1))
+            return max(0.0, self.poison_backoff)
+        exponent = min(max(attempt, 1) - 1, 60)
+        delay = self.base_backoff * (2.0 ** exponent)
+        return max(0.0, min(self.max_backoff, delay))
 
 
 def classify_failure(exc: BaseException) -> str:
@@ -126,6 +134,12 @@ class InferenceServer:
         #: end callback also fires on RETRYING attempts).
         on_job_start: Optional[Callable[[Job], None]] = None,
         on_job_finish: Optional[Callable[[Job], None]] = None,
+        #: Mid-run progress pub/sub seam: called as ``on_progress(job,
+        #: event, data)`` from the drain thread. Today's only event is
+        #: ``"rhat"`` (``{"kept": int, "rhat": float}``), fired once per
+        #: online convergence checkpoint — the stream the gateway turns
+        #: into Server-Sent Events.
+        on_progress: Optional[Callable[[Job, str, Dict], None]] = None,
         #: Telemetry sinks. The serving layer is always instrumented: both
         #: default to the process-global registry/tracer so worker metrics,
         #: monitor gauges and server counters land in one namespace.
@@ -161,6 +175,7 @@ class InferenceServer:
         self.retry_policy = retry_policy or RetryPolicy()
         self.on_job_start = on_job_start
         self.on_job_finish = on_job_finish
+        self.on_progress = on_progress
         #: (due_monotonic, seq, job) min-heap of jobs waiting out a backoff.
         self._retries: List[Tuple[float, int, Job]] = []
         self._retry_seq = 0
@@ -394,7 +409,17 @@ class InferenceServer:
         def on_draws(chain_index, kept_block):
             if monitor is None:
                 return None
+            seen = len(monitor.rhat_trace)
             stop_kept = monitor.observe(chain_index, kept_block)
+            if self.on_progress is not None:
+                # Every checkpoint the observe call just evaluated becomes
+                # one progress event (a single block can cross several).
+                for kept, rhat in zip(
+                    monitor.checkpoints[seen:], monitor.rhat_trace[seen:]
+                ):
+                    self.on_progress(
+                        job, "rhat", {"kept": int(kept), "rhat": float(rhat)}
+                    )
             if stop_kept is None:
                 return None
             return spec.resolved_warmup + stop_kept

@@ -13,6 +13,7 @@ also pickled to disk, surviving server restarts.
 from __future__ import annotations
 
 import pickle
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional
@@ -57,13 +58,37 @@ class ResultStore:
         return sorted(keys)
 
     def get(self, key: str) -> Optional[StoredResult]:
+        """The stored record, or None — including for corrupt files.
+
+        A torn or truncated pickle (a crash mid-``put`` predating the
+        atomic tmp+replace, a copy interrupted mid-transfer) is skipped
+        with a warning instead of raised: determinism makes recomputation
+        always safe, while an exception here would wedge every future
+        submission of that key. Mirrors the checkpoint loader's
+        corrupt-file skip.
+        """
         record = self._records.get(key)
         if record is not None:
             return record
         path = self._path(key)
         if path is not None and path.exists():
-            with path.open("rb") as handle:
-                record = pickle.load(handle)
+            try:
+                with path.open("rb") as handle:
+                    record = pickle.load(handle)
+            except Exception as exc:  # truncated/corrupt pickle, bad import
+                warnings.warn(
+                    f"skipping corrupt result {path}: {exc}; "
+                    f"the job will be recomputed",
+                    RuntimeWarning,
+                )
+                return None
+            if not isinstance(record, StoredResult):
+                warnings.warn(
+                    f"skipping result {path}: unexpected payload "
+                    f"({type(record).__name__}); the job will be recomputed",
+                    RuntimeWarning,
+                )
+                return None
             self._records[key] = record
             return record
         return None

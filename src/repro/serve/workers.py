@@ -347,6 +347,12 @@ def _worker_loop(
     finishing a chain but before its ``done`` event survives the queue's
     feeder thread, the parent still knows which chain to re-run.
     """
+    # A terminal Ctrl-C (e.g. stopping `repro serve --http`) signals the
+    # whole foreground process group; the parent owns worker shutdown, so
+    # workers ignore SIGINT instead of dying mid-chain with a traceback.
+    import signal
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
     while True:
         task = tasks.get()
         if task is None:

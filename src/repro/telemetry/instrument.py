@@ -53,10 +53,19 @@ MONITOR_RHAT = "repro_monitor_rhat"
 MONITOR_CHECKS = "repro_monitor_checks_total"
 MONITOR_CONVERGED_KEPT = "repro_monitor_converged_kept"
 
+GATEWAY_REQUESTS = "repro_gateway_requests_total"
+GATEWAY_REQUEST_SECONDS = "repro_gateway_request_seconds"
+GATEWAY_UNAUTHORIZED = "repro_gateway_unauthorized_total"
+GATEWAY_RATELIMITED = "repro_gateway_ratelimited_total"
+GATEWAY_SSE_EVENTS = "repro_gateway_sse_events_total"
+
 #: Tree depths are small integers; powers of two resolve every real depth.
 TREE_DEPTH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
 #: Chain wall-times from milliseconds to hours.
 CHAIN_SECONDS_BUCKETS = log_buckets(1e-3, 1e4, per_decade=1)
+#: HTTP request latencies from 100µs (healthz) to 1000s (an SSE stream
+#: held open for a whole job counts as one long request).
+REQUEST_SECONDS_BUCKETS = log_buckets(1e-4, 1e3, per_decade=1)
 
 _HELP = {
     SAMPLER_ITERATIONS: "Sampler iterations completed (warmup included)",
@@ -77,6 +86,11 @@ _HELP = {
     MONITOR_RHAT: "Latest online max R-hat per job",
     MONITOR_CHECKS: "Online R-hat checkpoint evaluations",
     MONITOR_CONVERGED_KEPT: "Kept iteration at which the monitor converged",
+    GATEWAY_REQUESTS: "HTTP requests served by the gateway",
+    GATEWAY_REQUEST_SECONDS: "Gateway HTTP request latency",
+    GATEWAY_UNAUTHORIZED: "Requests rejected by bearer-token auth",
+    GATEWAY_RATELIMITED: "Requests rejected by the per-token rate limiter",
+    GATEWAY_SSE_EVENTS: "Server-sent events delivered to subscribers",
 }
 
 

@@ -25,6 +25,31 @@ class TestParser:
         )
         assert args.platform == "broadwell"
 
+    def test_submit_remote_flags(self):
+        args = build_parser().parse_args([
+            "submit", "votes", "--remote", "http://localhost:8080",
+            "--token", "abc", "--wait",
+        ])
+        assert args.remote == "http://localhost:8080"
+        assert args.token == "abc"
+        assert args.wait
+
+    def test_serve_http_flags(self):
+        args = build_parser().parse_args([
+            "serve", "--http", "0", "--token", "a", "--token", "b",
+            "--rate-limit", "2.5", "--burst", "4",
+        ])
+        assert args.http == 0
+        assert args.tokens == ["a", "b"]
+        assert args.rate_limit == 2.5
+        assert args.burst == 4
+
+    def test_metrics_snapshots_accumulate(self):
+        args = build_parser().parse_args([
+            "metrics", "--snapshot", "a.json", "--snapshot", "b.json",
+        ])
+        assert args.snapshots == ["a.json", "b.json"]
+
 
 class TestCommands:
     def test_table1(self, capsys):
@@ -82,7 +107,9 @@ class TestServeCommands:
 
     def test_serve_requires_drain(self, tmp_path, capsys):
         assert main(["serve", "--queue-dir", str(tmp_path)]) == 2
-        assert "--drain" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "--drain" in out
+        assert "--http" in out
 
     def test_serve_without_queue_fails(self, tmp_path, capsys):
         code = main(["serve", "--drain", "--queue-dir", str(tmp_path)])
@@ -115,3 +142,51 @@ class TestServeCommands:
         ])
         assert code == 0
         assert "1 answered from the result store" in capsys.readouterr().out
+
+
+class TestMetricsCommand:
+    def _snapshot(self, path, count):
+        from repro.telemetry.exposition import write_snapshot
+        from repro.telemetry.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("repro_serve_jobs_total",
+                         {"state": "done"}).inc(count)
+        registry.gauge("repro_serve_queue_depth").set(count)
+        write_snapshot(str(path), registry)
+
+    def test_missing_snapshot_errors(self, tmp_path, capsys):
+        code = main(["metrics", "--queue-dir", str(tmp_path)])
+        assert code == 1
+        assert "no metrics snapshot" in capsys.readouterr().err
+
+    def test_single_snapshot_renders(self, tmp_path, capsys):
+        self._snapshot(tmp_path / "metrics.json", 3)
+        code = main(["metrics", "--queue-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert 'repro_serve_jobs_total{state="done"} 3' in out
+
+    def test_multiple_snapshots_merge(self, tmp_path, capsys):
+        self._snapshot(tmp_path / "a.json", 3)
+        self._snapshot(tmp_path / "b.json", 5)
+        code = main([
+            "metrics",
+            "--snapshot", str(tmp_path / "a.json"),
+            "--snapshot", str(tmp_path / "b.json"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        # Counters sum across snapshots; gauges last-write-win.
+        assert 'repro_serve_jobs_total{state="done"} 8' in out
+        assert "repro_serve_queue_depth 5" in out
+
+    def test_one_missing_of_many_errors(self, tmp_path, capsys):
+        self._snapshot(tmp_path / "a.json", 1)
+        code = main([
+            "metrics",
+            "--snapshot", str(tmp_path / "a.json"),
+            "--snapshot", str(tmp_path / "missing.json"),
+        ])
+        assert code == 1
+        assert "missing.json" in capsys.readouterr().err

@@ -1,0 +1,310 @@
+"""Unit tests for the gateway building blocks — no sockets needed.
+
+Auth, rate limiting (with an injectable clock), the SSE event broker and
+wire format, the JSON views, and the client's transient-retry loop against
+a stub HTTP server. The full network round trip lives in test_gateway.py.
+"""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, HTTPServer
+
+import pytest
+
+from repro.client import (
+    GatewayClient,
+    GatewayError,
+    GatewayUnavailable,
+    RateLimitedError,
+    UnauthorizedError,
+)
+from repro.gateway import (
+    ApiError,
+    BearerAuth,
+    EventBroker,
+    JobEvent,
+    RateLimiter,
+    TokenBucket,
+    job_view,
+    parse_job_spec,
+    parse_sse,
+    result_view,
+    token_label,
+)
+from repro.gateway.sse import json_safe
+from repro.serve import Job, JobSpec, JobState, RetryPolicy
+from repro.telemetry.instrument import GATEWAY_RATELIMITED
+from repro.telemetry.metrics import MetricsRegistry
+
+SPEC = JobSpec(workload="votes", engine="mh", n_iterations=40, n_chains=2)
+
+
+class TestTokenLabel:
+    def test_hashed_and_stable(self):
+        assert token_label("s3cret") == token_label("s3cret")
+        assert len(token_label("s3cret")) == 8
+        assert "s3cret" not in token_label("s3cret")
+        assert token_label("s3cret") != token_label("other")
+
+    def test_anonymous(self):
+        assert token_label(None) == "anonymous"
+
+
+class TestBearerAuth:
+    def test_matches_any_configured_token(self):
+        auth = BearerAuth(["alpha", "beta"])
+        assert auth.authenticate("Bearer alpha") == "alpha"
+        assert auth.authenticate("bearer beta") == "beta"  # scheme is ci
+        assert len(auth) == 2
+
+    def test_rejects_wrong_or_malformed_credentials(self):
+        auth = BearerAuth(["alpha"])
+        assert auth.authenticate(None) is None
+        assert auth.authenticate("") is None
+        assert auth.authenticate("Bearer wrong") is None
+        assert auth.authenticate("Basic alpha") is None
+        assert auth.authenticate("alpha") is None  # no scheme
+
+    def test_empty_token_set_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            BearerAuth(["", "   "])
+
+
+class TestRateLimiter:
+    def test_burst_then_paced(self):
+        clock = [0.0]
+        limiter = RateLimiter(rate=1.0, burst=2, clock=lambda: clock[0])
+        assert limiter.check("t") is None
+        assert limiter.check("t") is None
+        wait = limiter.check("t")
+        assert wait is not None and wait == pytest.approx(1.0)
+        clock[0] = 1.0  # one token accrued
+        assert limiter.check("t") is None
+        assert limiter.check("t") is not None
+
+    def test_tokens_have_independent_buckets(self):
+        clock = [0.0]
+        limiter = RateLimiter(rate=1.0, burst=1, clock=lambda: clock[0])
+        assert limiter.check("a") is None
+        assert limiter.check("a") is not None
+        assert limiter.check("b") is None  # b's bucket untouched
+        assert limiter.check(None) is None  # anonymous is its own tenant
+
+    def test_bucket_never_exceeds_capacity(self):
+        bucket = TokenBucket(rate=10.0, capacity=2.0, now=0.0)
+        assert bucket.acquire(1000.0) == 0.0  # long idle: still capped at 2
+        assert bucket.acquire(1000.0) == 0.0
+        assert bucket.acquire(1000.0) > 0.0
+
+    def test_rejections_counted_per_token_label(self):
+        registry = MetricsRegistry()
+        clock = [0.0]
+        limiter = RateLimiter(
+            rate=1.0, burst=1, registry=registry, clock=lambda: clock[0]
+        )
+        limiter.check("s3cret")
+        limiter.check("s3cret")
+        label = token_label("s3cret")
+        assert registry.counter_value(
+            GATEWAY_RATELIMITED, {"token": label}
+        ) == 1.0
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError, match="rate must be positive"):
+            RateLimiter(rate=0.0)
+        with pytest.raises(ValueError, match="burst"):
+            RateLimiter(rate=1.0, burst=0)
+
+
+class TestEventBroker:
+    def test_late_subscriber_replays_history(self):
+        broker = EventBroker()
+        broker.publish("j", JobEvent("state", {"state": "queued"}))
+        broker.publish("j", JobEvent("rhat", {"kept": 20, "rhat": 1.5}))
+        sub = broker.subscribe("j")
+        assert sub.get_nowait().data["state"] == "queued"
+        assert sub.get_nowait().data["rhat"] == 1.5
+
+    def test_terminal_event_closes_the_stream(self):
+        broker = EventBroker()
+        sub = broker.subscribe("j")
+        broker.publish("j", JobEvent("state", {"state": "done"}, terminal=True))
+        assert sub.get_nowait().terminal
+        assert sub.get_nowait() is None  # sentinel: stream over
+        # Publishing after close is a no-op; late subscribers still get
+        # the full history plus the sentinel.
+        assert broker.publish("j", JobEvent("state", {"state": "zombie"})) == 0
+        late = broker.subscribe("j")
+        assert late.get_nowait().data["state"] == "done"
+        assert late.get_nowait() is None
+
+    def test_rhat_trace_collects_checkpoints(self):
+        broker = EventBroker()
+        broker.publish("j", JobEvent("state", {"state": "running"}))
+        broker.publish("j", JobEvent("rhat", {"kept": 20, "rhat": 2.0}))
+        broker.publish("j", JobEvent("rhat", {"kept": 40, "rhat": 1.05}))
+        assert broker.rhat_trace("j") == [(20, 2.0), (40, 1.05)]
+        assert broker.rhat_trace("unknown") == []
+
+    def test_history_limit_drops_overflow(self):
+        broker = EventBroker(history_limit=2)
+        for kept in (10, 20, 30):
+            broker.publish("j", JobEvent("rhat", {"kept": kept, "rhat": 9.0}))
+        assert [e.data["kept"] for e in broker.history("j")] == [10, 20]
+
+    def test_unsubscribe_stops_delivery(self):
+        broker = EventBroker()
+        sub = broker.subscribe("j")
+        broker.unsubscribe("j", sub)
+        broker.publish("j", JobEvent("state", {"state": "running"}))
+        assert sub.empty()
+
+
+class TestWireFormat:
+    def test_render_parse_roundtrip(self):
+        event = JobEvent("rhat", {"job_id": "ab", "kept": 40, "rhat": 1.52})
+        lines = event.render().decode("utf-8").splitlines(keepends=True)
+        assert parse_sse(lines) == ("rhat", event.data)
+
+    def test_keepalive_comments_are_skipped(self):
+        lines = [": keep-alive\n", "\n", "event: state\n",
+                 'data: {"state": "done"}\n', "\n"]
+        assert parse_sse(lines) == ("state", {"state": "done"})
+
+    def test_json_safe_replaces_nonfinite(self):
+        data = {"rhat": float("inf"), "trace": [1.0, float("nan")],
+                "nested": {"v": float("-inf")}, "n": 3, "s": "x"}
+        safe = json_safe(data)
+        assert safe == {"rhat": None, "trace": [1.0, None],
+                        "nested": {"v": None}, "n": 3, "s": "x"}
+        json.dumps(safe)  # strict-JSON serializable
+
+    def test_rendered_infinity_is_null_on_the_wire(self):
+        event = JobEvent("rhat", {"kept": 20, "rhat": float("inf")})
+        assert b"Infinity" not in event.render()
+        assert parse_sse(
+            event.render().decode("utf-8").splitlines(keepends=True)
+        ) == ("rhat", {"kept": 20, "rhat": None})
+
+
+class TestViews:
+    def test_job_view_carries_live_rhat(self):
+        job = Job(SPEC)
+        view = job_view(job, [(20, 2.0), (40, 1.08)])
+        assert view["state"] == "queued"
+        assert not view["terminal"]
+        assert view["rhat"] == {"kept": 40, "value": 1.08}
+        assert len(view["rhat_trace"]) == 2
+        assert view["spec"] == SPEC.to_dict()
+
+    def test_result_view_409_until_terminal(self):
+        job = Job(SPEC)
+        with pytest.raises(ApiError) as info:
+            result_view(job)
+        assert info.value.status == 409
+        job.transition(JobState.RUNNING)
+        job.transition(JobState.FAILED)
+        with pytest.raises(ApiError, match="failed"):
+            result_view(job)  # terminal but no result
+
+    def test_parse_job_spec_rejects_bad_bodies(self):
+        assert parse_job_spec(SPEC.to_dict()) == SPEC
+        with pytest.raises(ApiError) as info:
+            parse_job_spec(["not", "a", "dict"])
+        assert info.value.status == 400
+        with pytest.raises(ApiError, match="invalid job spec"):
+            parse_job_spec({"workload": "votes", "no_such_field": 1})
+
+
+class _FlakyHandler(BaseHTTPRequestHandler):
+    """Fails with 500 until `failures` is exhausted, then returns JSON."""
+
+    failures = 0
+    requests_seen = 0
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    def do_GET(self):
+        cls = type(self)
+        cls.requests_seen += 1
+        if cls.failures > 0:
+            cls.failures -= 1
+            body = json.dumps({"error": "transient hiccup"}).encode()
+            self.send_response(500)
+        elif self.path == "/v1/denied":
+            body = json.dumps({"error": "missing token"}).encode()
+            self.send_response(401)
+        elif self.path == "/v1/shed":
+            body = json.dumps({"error": "slow down"}).encode()
+            self.send_response(429)
+            self.send_header("Retry-After", "7")
+        else:
+            body = json.dumps({"ok": True}).encode()
+            self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+@pytest.fixture
+def flaky_server():
+    httpd = HTTPServer(("127.0.0.1", 0), _FlakyHandler)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    _FlakyHandler.failures = 0
+    _FlakyHandler.requests_seen = 0
+    try:
+        yield f"http://127.0.0.1:{httpd.server_address[1]}"
+    finally:
+        httpd.shutdown()
+        thread.join(timeout=5)
+        httpd.server_close()
+
+
+FAST_RETRIES = RetryPolicy(max_attempts=3, base_backoff=0.0, max_backoff=0.0)
+
+
+class TestClientRetries:
+    def test_5xx_retried_until_success(self, flaky_server):
+        _FlakyHandler.failures = 2
+        client = GatewayClient(flaky_server, retry_policy=FAST_RETRIES)
+        assert client._json("GET", "/v1/ok") == {"ok": True}
+        assert _FlakyHandler.requests_seen == 3
+
+    def test_5xx_exhausts_into_gateway_unavailable(self, flaky_server):
+        _FlakyHandler.failures = 99
+        client = GatewayClient(flaky_server, retry_policy=FAST_RETRIES)
+        with pytest.raises(GatewayUnavailable):
+            client._json("GET", "/v1/ok")
+        assert _FlakyHandler.requests_seen == 3  # max_attempts, no more
+
+    def test_4xx_is_poison_no_retry(self, flaky_server):
+        client = GatewayClient(flaky_server, retry_policy=FAST_RETRIES)
+        with pytest.raises(UnauthorizedError):
+            client._json("GET", "/v1/denied")
+        assert _FlakyHandler.requests_seen == 1
+        with pytest.raises(RateLimitedError) as info:
+            client._json("GET", "/v1/shed")
+        assert info.value.retry_after == 7.0
+        assert info.value.status == 429
+
+    def test_connection_refused_raises_unavailable(self):
+        client = GatewayClient(
+            "http://127.0.0.1:9", retry_policy=FAST_RETRIES, timeout=0.5
+        )
+        with pytest.raises(GatewayUnavailable, match="unreachable"):
+            client.healthz()
+
+    def test_submit_argument_shapes(self, flaky_server):
+        client = GatewayClient(flaky_server, retry_policy=FAST_RETRIES)
+        with pytest.raises(TypeError, match="JobSpec or a name"):
+            client.submit(SPEC, n_iterations=99)
+        with pytest.raises(TypeError):
+            client.submit(3.14)
+
+    def test_error_hierarchy(self):
+        assert issubclass(UnauthorizedError, GatewayError)
+        assert issubclass(RateLimitedError, GatewayError)
+        assert issubclass(GatewayUnavailable, GatewayError)

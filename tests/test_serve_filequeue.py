@@ -65,6 +65,65 @@ class TestFileJobQueue:
             recovery = fq.load()
         assert [e.entry_id for e in recovery.pending] == [a]
 
+    def test_load_compacts_finished_history(self, tmp_path):
+        """A long-lived queue accumulates submit/running/finished triples;
+        once they dwarf the live entries, load() rewrites the log."""
+        fq = FileJobQueue(tmp_path / "queue.jsonl")
+        for seed in range(4):
+            spec = JobSpec(workload="votes", engine="mh", n_iterations=30,
+                           n_chains=2, seed=seed, scale=0.25, elide=False)
+            entry = fq.submit(spec)
+            fq.mark_running(entry)
+            fq.mark_finished(entry)
+        live = fq.submit(SPEC_A)
+        # 13 records, 1 live entry: past the 4× ratio, so load() compacts.
+        recovery = fq.load()
+        assert [e.entry_id for e in recovery.pending] == [live]
+        lines = fq.path.read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record == {"op": "submit", "id": live,
+                          "spec": SPEC_A.to_dict()}
+        # The compacted log replays to the same state.
+        assert [e.entry_id for e in fq.load().pending] == [live]
+
+    def test_compaction_preserves_orphan_markers(self, tmp_path):
+        fq = FileJobQueue(tmp_path / "queue.jsonl")
+        orphan = fq.submit(SPEC_A)
+        fq.mark_running(orphan)
+        pending = fq.submit(SPEC_B)
+        for _ in range(10):  # pad with finished history to cross the ratio
+            entry = fq.submit(SPEC_A)
+            fq.mark_finished(entry)
+        recovery = fq.load()
+        assert [e.entry_id for e in recovery.orphaned] == [orphan]
+        assert [e.entry_id for e in recovery.pending] == [pending]
+        # After the rewrite the orphan is *still* an orphan: its running
+        # marker survived, so crash recovery semantics are unchanged.
+        replayed = fq.load(compact=False)
+        assert [e.entry_id for e in replayed.orphaned] == [orphan]
+        assert [e.entry_id for e in replayed.pending] == [pending]
+        assert len(fq.path.read_text().splitlines()) == 3
+
+    def test_healthy_in_flight_queue_not_rewritten(self, tmp_path):
+        fq = FileJobQueue(tmp_path / "queue.jsonl")
+        a = fq.submit(SPEC_A)
+        fq.submit(SPEC_B)
+        fq.mark_running(a)
+        before = fq.path.read_text()
+        fq.load()  # 3 records, 2 live: under the ratio, no rewrite
+        assert fq.path.read_text() == before
+
+    def test_explicit_compact_is_unconditional(self, tmp_path):
+        fq = FileJobQueue(tmp_path / "queue.jsonl")
+        entry = fq.submit(SPEC_A)
+        fq.mark_finished(entry)
+        live = fq.submit(SPEC_B)
+        fq.compact()
+        lines = fq.path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["id"] == live
+
     def test_missing_file_and_truncate(self, tmp_path):
         fq = FileJobQueue(tmp_path / "queue.jsonl")
         assert fq.load().entries == []

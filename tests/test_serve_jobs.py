@@ -147,6 +147,49 @@ class TestResultStore:
         assert loaded.spec == spec
         assert loaded.result.n_chains == 1
 
+    def test_truncated_pickle_skipped_with_warning(self, tmp_path):
+        spec = JobSpec(workload="votes")
+        writer = ResultStore(directory=str(tmp_path))
+        writer.put(spec.key(), self._record(spec))
+        # Tear the file the way an interrupted copy would.
+        path = tmp_path / f"{spec.key()}.pkl"
+        path.write_bytes(path.read_bytes()[:20])
+        reader = ResultStore(directory=str(tmp_path))
+        with pytest.warns(RuntimeWarning, match="corrupt result"):
+            assert reader.get(spec.key()) is None
+        with pytest.warns(RuntimeWarning):
+            assert spec.key() not in reader  # recomputation path: a miss
+
+    def test_garbage_bytes_skipped_with_warning(self, tmp_path):
+        spec = JobSpec(workload="votes")
+        path = tmp_path / f"{spec.key()}.pkl"
+        path.write_bytes(b"\x00not a pickle at all")
+        reader = ResultStore(directory=str(tmp_path))
+        with pytest.warns(RuntimeWarning, match="corrupt result"):
+            assert reader.get(spec.key()) is None
+
+    def test_wrong_payload_type_skipped_with_warning(self, tmp_path):
+        import pickle
+
+        spec = JobSpec(workload="votes")
+        path = tmp_path / f"{spec.key()}.pkl"
+        path.write_bytes(pickle.dumps({"not": "a StoredResult"}))
+        reader = ResultStore(directory=str(tmp_path))
+        with pytest.warns(RuntimeWarning, match="unexpected payload"):
+            assert reader.get(spec.key()) is None
+
+    def test_corrupt_record_recomputes_and_heals(self, tmp_path):
+        # A corrupt cache entry must not wedge the key: put() overwrites
+        # it and subsequent gets are clean again.
+        spec = JobSpec(workload="votes")
+        path = tmp_path / f"{spec.key()}.pkl"
+        path.write_bytes(b"torn")
+        store = ResultStore(directory=str(tmp_path))
+        with pytest.warns(RuntimeWarning):
+            assert store.get(spec.key()) is None
+        store.put(spec.key(), self._record(spec))
+        assert store.get(spec.key()).spec == spec
+
 
 class TestCheckpointStore:
     def test_roundtrip_and_latest(self, tmp_path):

@@ -1,0 +1,93 @@
+"""Edge cases of the retry taxonomy: `classify_failure` and `RetryPolicy`.
+
+The fast-path behaviors live in test_serve_faults.py; this file pins the
+corners — exception *subclasses* (the isinstance checks must catch them),
+attempt-counter overflow, and degenerate backoff configurations — because
+both the server's retry heap and the gateway client reuse these semantics.
+"""
+
+import socket
+
+import pytest
+
+from repro.serve import ChainExecutionError, RetryPolicy, classify_failure
+
+
+class TestClassifyFailureSubclasses:
+    def test_timeout_subclasses_are_transient(self):
+        class ChainTimeout(TimeoutError):
+            pass
+
+        assert classify_failure(ChainTimeout("deadline")) == "transient"
+        # socket.timeout is an alias (or subclass) of TimeoutError.
+        assert classify_failure(socket.timeout("recv")) == "transient"
+
+    def test_connection_error_subclasses_are_transient(self):
+        assert classify_failure(ConnectionResetError("peer")) == "transient"
+        assert classify_failure(ConnectionRefusedError("refused")) == "transient"
+        assert classify_failure(ConnectionAbortedError("aborted")) == "transient"
+        assert classify_failure(BrokenPipeError("pipe")) == "transient"
+
+    def test_oserror_is_poison_unless_connection_related(self):
+        # OSError itself is not in the transient set — only its
+        # connection-flavored subclasses are.
+        assert classify_failure(OSError("disk full")) == "poison"
+        assert classify_failure(PermissionError("denied")) == "poison"
+
+    def test_chain_execution_error_subclass_keeps_its_poison_flag(self):
+        class WrappedChainError(ChainExecutionError):
+            pass
+
+        transient = WrappedChainError("j", {0: "tb"}, {0: "transient"})
+        poison = WrappedChainError("j", {0: "tb"}, {0: "poison"})
+        assert classify_failure(transient) == "transient"
+        assert classify_failure(poison) == "poison"
+
+    def test_everything_else_is_poison(self):
+        assert classify_failure(ValueError("bad shape")) == "poison"
+        assert classify_failure(ZeroDivisionError()) == "poison"
+        assert classify_failure(MemoryError()) == "poison"
+
+
+class TestBackoffEdges:
+    def test_huge_attempt_does_not_overflow(self):
+        policy = RetryPolicy(base_backoff=0.5, max_backoff=60.0)
+        # 2 ** (10**6) would raise OverflowError on int-to-float conversion
+        # without the exponent clamp; the cap must win instead.
+        for attempt in (64, 1024, 10**6, 10**12):
+            assert policy.backoff("transient", attempt) == 60.0
+
+    def test_zero_and_negative_attempts_behave_like_the_first(self):
+        policy = RetryPolicy(base_backoff=0.5, max_backoff=60.0)
+        assert policy.backoff("transient", 0) == 0.5
+        assert policy.backoff("transient", -3) == 0.5
+
+    def test_schedule_is_monotone_nondecreasing(self):
+        policy = RetryPolicy(base_backoff=0.25, max_backoff=10.0)
+        delays = [policy.backoff("transient", n) for n in range(1, 80)]
+        assert delays == sorted(delays)
+        assert delays[-1] == 10.0
+
+    def test_zero_base_backoff_means_immediate_retry(self):
+        policy = RetryPolicy(base_backoff=0.0, max_backoff=60.0)
+        assert policy.backoff("transient", 1) == 0.0
+        assert policy.backoff("transient", 50) == 0.0
+
+    @pytest.mark.parametrize("kind", ["transient", "poison"])
+    def test_negative_configuration_never_goes_negative(self, kind):
+        # A negative delay would reorder the server's retry heap (and make
+        # the client sleep(-x) raise); the floor clamps it to zero.
+        policy = RetryPolicy(
+            base_backoff=-1.0, max_backoff=-5.0, poison_backoff=-2.0
+        )
+        for attempt in (1, 2, 10):
+            assert policy.backoff(kind, attempt) == 0.0
+
+    def test_zero_max_backoff_caps_everything(self):
+        policy = RetryPolicy(base_backoff=3.0, max_backoff=0.0)
+        assert policy.backoff("transient", 5) == 0.0
+
+    def test_poison_backoff_is_flat(self):
+        policy = RetryPolicy(poison_backoff=1.5)
+        assert policy.backoff("poison", 1) == 1.5
+        assert policy.backoff("poison", 40) == 1.5
