@@ -22,6 +22,8 @@ True
 
 from repro.autodiff.tape import Var, var, constant, backward
 from repro.autodiff import ops
+from repro.autodiff import compile  # noqa: A004 - module name mirrors its role
+from repro.autodiff.compile import CompiledFunction, CompiledTape, record
 from repro.autodiff.functional import value_and_grad, grad, check_grad
 
 __all__ = [
@@ -30,6 +32,10 @@ __all__ = [
     "constant",
     "backward",
     "ops",
+    "compile",
+    "CompiledFunction",
+    "CompiledTape",
+    "record",
     "value_and_grad",
     "grad",
     "check_grad",

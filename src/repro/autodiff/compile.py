@@ -1,0 +1,535 @@
+"""Compiled gradient tapes: record a ``logp`` graph once, replay it many times.
+
+The interpreted tape (:mod:`repro.autodiff.tape`) rebuilds the whole
+computation graph — one ``Var`` and one backward closure per primitive — on
+*every* gradient evaluation. For the sampler hot path that Python overhead
+dominates the numpy kernels the paper's hardware analysis assumes. This
+module removes it:
+
+* :class:`CompiledTape` — a flat, topologically-sorted instruction list
+  captured from one traced evaluation. Replaying executes the *same* kernel
+  functions (:data:`repro.autodiff.ops.KERNELS`) over preallocated numpy
+  buffers: no graph reconstruction, no closure allocation, in-place ``out=``
+  destinations where the kernel declares that safe. Because the kernels and
+  the adjoint accumulation order are shared with the interpreted path,
+  replayed values and gradients are **bit-identical** to interpretation.
+* :class:`CompiledFunction` — the caching wrapper used by
+  ``Model.compiled_logp_and_grad()``: records on first call and whenever the
+  input shape changes, cross-checks the first replay(s) against a fresh
+  interpreted trace, re-records when the graph *structure* changed
+  (data-dependent control flow), and falls back to interpretation
+  permanently when a graph cannot be compiled or keeps disagreeing
+  (value-dependent statics). The fallback is transparent: callers always
+  get the interpreted-exact ``(value, gradient)``.
+
+Kill switch: set ``REPRO_COMPILED_TAPE=0`` (or call :func:`disable`) to keep
+every evaluation on the interpreted path.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autodiff import ops
+from repro.autodiff import tape as tape_mod
+from repro.autodiff.tape import Var, _unbroadcast
+
+__all__ = [
+    "CompiledFunction",
+    "CompiledTape",
+    "TapeUnsupportedError",
+    "record",
+    "enabled",
+    "enable",
+    "disable",
+    "override",
+]
+
+
+class TapeUnsupportedError(RuntimeError):
+    """The traced graph contains a node the replay engine cannot execute."""
+
+
+# ---------------------------------------------------------------------------
+# Global enable switch
+# ---------------------------------------------------------------------------
+
+def _env_enabled() -> bool:
+    raw = os.environ.get("REPRO_COMPILED_TAPE", "1").strip().lower()
+    return raw not in ("0", "false", "off", "no")
+
+
+_ENABLED = _env_enabled()
+
+#: Replays cross-checked bitwise against a fresh interpreted trace after
+#: each (re-)record; 0 disables validation entirely.
+VALIDATE_CALLS = max(0, int(os.environ.get("REPRO_TAPE_VALIDATE", "1")))
+
+#: Re-records per CompiledFunction before giving up — a graph whose
+#: structure changes this often would spend more time recording than
+#: replaying.
+MAX_RECORDS = 8
+
+
+def enabled() -> bool:
+    """True when compiled tapes are globally enabled."""
+    return _ENABLED
+
+
+def enable() -> None:
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    global _ENABLED
+    _ENABLED = False
+
+
+@contextmanager
+def override(value: bool):
+    """Temporarily force compiled tapes on or off (tests, benchmarks)."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(value)
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+# ---------------------------------------------------------------------------
+# Tracing helpers
+# ---------------------------------------------------------------------------
+
+def _trace(fn: Callable[[Var], Var], x: np.ndarray) -> Tuple[Var, Var]:
+    """One interpreted evaluation of ``fn``; returns ``(leaf, root)``."""
+    leaf = Var(x)
+    root = fn(leaf)
+    if root.value.ndim != 0:
+        raise ValueError(
+            f"compiled tapes require a scalar output, got shape {root.value.shape}"
+        )
+    return leaf, root
+
+
+def _reference_from_trace(leaf: Var, root: Var, x: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Interpreted ``(value, gradient)`` from an already-built trace."""
+    tape_mod.backward(root)
+    gradient = leaf.grad if leaf.grad is not None else np.zeros_like(x)
+    return float(root.value), np.asarray(gradient, dtype=float)
+
+
+def _creation_order(root: Var) -> List[Var]:
+    """Nodes reachable from ``root`` in creation (= topological) order."""
+    nodes = tape_mod._toposort(root)  # reverse creation order
+    nodes.reverse()
+    return nodes
+
+
+def structure_signature(root: Var, leaf: Var) -> tuple:
+    """A hashable fingerprint of the traced graph's *structure*.
+
+    Two traces with the same signature ran the same kernels over the same
+    wiring and shapes; constant values and static arguments are deliberately
+    excluded (the bitwise validation pass catches those).
+    """
+    order = _creation_order(root)
+    index = {id(node): i for i, node in enumerate(order)}
+    entries = []
+    for node in order:
+        if not node.parents:
+            kind = "input" if node is leaf else "const"
+            entries.append((kind, node.value.shape, node.requires_grad))
+        else:
+            entries.append((
+                node.op,
+                tuple(index[id(p)] for p in node.parents),
+                node.value.shape,
+            ))
+    return tuple(entries)
+
+
+# ---------------------------------------------------------------------------
+# The replay engine
+# ---------------------------------------------------------------------------
+
+class CompiledTape:
+    """Flat instruction-list form of one traced graph.
+
+    Built from a trace produced by :func:`_trace`; ``value_and_grad`` then
+    replays forward and backward sweeps over preallocated buffers. All
+    kernel dispatch happens through :data:`repro.autodiff.ops.KERNELS`, the
+    same functions the interpreted path runs.
+    """
+
+    def __init__(self, root: Var, leaf: Var) -> None:
+        order = _creation_order(root)
+        if leaf not in order:
+            # The output does not depend on the input; keep a slot for it
+            # anyway so forward/backward have somewhere to read/write.
+            order.append(leaf)
+        index = {id(node): i for i, node in enumerate(order)}
+
+        n = len(order)
+        self._vals: List[Optional[np.ndarray]] = [None] * n
+        self._shapes: List[tuple] = [node.value.shape for node in order]
+        self._requires: List[bool] = [node.requires_grad for node in order]
+        # Per-slot adjoint accumulation buffers (used only when a slot
+        # receives more than one contribution) and per-call adjoint
+        # references, mirroring the interpreted sweep's ``Var.grad``.
+        self._gbufs: List[np.ndarray] = [
+            np.empty(shape) for shape in self._shapes
+        ]
+        self._grads: List[Optional[np.ndarray]] = [None] * n
+
+        fwd_instr = []
+        bwd_instr = []
+        for i, node in enumerate(order):
+            if not node.parents:
+                if node is not leaf:
+                    self._vals[i] = node.value
+                continue
+            if node.op is None or node.op not in ops.KERNELS:
+                label = node.op or node.tag or f"Var#{node._id}"
+                raise TapeUnsupportedError(
+                    f"node {label!r} was not built through the kernel "
+                    "registry and cannot be replayed"
+                )
+            kernel = ops.KERNELS[node.op]
+            out = np.empty(node.value.shape) if kernel.out_safe else None
+            slots = tuple(index[id(p)] for p in node.parents)
+            aux_index = len(fwd_instr)
+            fwd_instr.append(
+                (kernel.forward, slots, node.op_static, out, i, aux_index)
+            )
+            bwd_instr.append(
+                (kernel.backward, slots, node.op_static, i, aux_index)
+            )
+        bwd_instr.reverse()
+        self._fwd_instr = fwd_instr
+        self._bwd_instr = bwd_instr
+        self._aux: List[object] = [None] * len(fwd_instr)
+
+        self._input_slot = index[id(leaf)]
+        self._root_slot = index[id(root)]
+        self.input_shape = leaf.value.shape
+        self.signature = structure_signature(root, leaf)
+
+        try:
+            self._call = self._emit_callable()
+        except SyntaxError as exc:  # pragma: no cover - codegen bug guard
+            raise TapeUnsupportedError(f"tape codegen failed: {exc}") from exc
+
+    # -- code generation -----------------------------------------------------
+
+    def _emit_callable(self) -> Callable[[np.ndarray], Tuple[float, np.ndarray]]:
+        """Generate straight-line Python source for one value+grad replay.
+
+        The emitted function runs the identical kernels in the identical
+        order as the loop-based ``forward``/``backward`` below, but with the
+        instruction dispatch unrolled into plain local-variable code: no
+        per-instruction tuple destructuring, no slot-list indexing, no loop
+        bookkeeping. Gradient paths that cannot reach the input (constant
+        subtrees) are pruned statically — interpretation computes those
+        adjoints too but discards them, so the surviving contributions, and
+        hence every accumulated value, are unchanged bit for bit.
+        """
+        n = len(self._shapes)
+        requires = self._requires
+        input_slot = self._input_slot
+        root_slot = self._root_slot
+
+        # carries[s]: the adjoint at slot s can flow to the input.
+        carries = [False] * n
+        carries[input_slot] = True
+        for _fwd, slots, _static, _out, slot, _ai in self._fwd_instr:
+            carries[slot] = any(requires[s] and carries[s] for s in slots)
+
+        dynamic = {input_slot}
+        dynamic.update(ins[4] for ins in self._fwd_instr)
+
+        def ref(s: int) -> str:
+            return f"v{s}" if s in dynamic else f"C{s}"
+
+        def refs(slots: tuple) -> str:
+            inner = ", ".join(ref(s) for s in slots)
+            return f"({inner},)" if len(slots) == 1 else f"({inner})"
+
+        env = {
+            "_nd": np.ndarray,
+            "_as": np.asarray,
+            "_unb": _unbroadcast,
+            "_iadd": np.add,
+            "_zeros": np.zeros,
+            "SEED": np.ones(self._shapes[root_slot]),
+        }
+        for s in range(n):
+            if s not in dynamic:
+                env[f"C{s}"] = self._vals[s]
+
+        lines = [f"def _replay(x):", f"    v{input_slot} = x"]
+        for fwd, slots, static, out, slot, aux_index in self._fwd_instr:
+            env[f"F{aux_index}"] = fwd
+            env[f"S{aux_index}"] = static
+            if out is not None:
+                env[f"O{aux_index}"] = out
+                out_ref = f"O{aux_index}"
+            else:
+                out_ref = "None"
+            lines.append(
+                f"    v{slot}, a{aux_index} = "
+                f"F{aux_index}({refs(slots)}, S{aux_index}, {out_ref})"
+            )
+            if out is None:
+                lines.append(
+                    f"    if type(v{slot}) is not _nd: "
+                    f"v{slot} = _as(v{slot}, float)"
+                )
+        lines.append(f"    rv = float({ref(root_slot)})")
+
+        grad_names = {root_slot, input_slot}
+        body = []
+        for bwd, slots, static, slot, aux_index in self._bwd_instr:
+            if not carries[slot]:
+                continue
+            env[f"B{aux_index}"] = bwd
+            grad_names.add(slot)
+            body.append(f"    if g{slot} is not None:")
+            body.append(
+                f"        c = B{aux_index}(g{slot}, {refs(slots)}, "
+                f"{ref(slot)}, a{aux_index}, S{aux_index})"
+            )
+            for k, s in enumerate(slots):
+                if not (requires[s] and carries[s]):
+                    continue
+                grad_names.add(s)
+                env[f"A{s}"] = self._gbufs[s]
+                shape = repr(self._shapes[s])
+                body.append(f"        _c = c[{k}]")
+                body.append(f"        if _c is not None:")
+                body.append(
+                    f"            if type(_c) is not _nd: _c = _as(_c, float)"
+                )
+                body.append(
+                    f"            if _c.shape != {shape}: "
+                    f"_c = _unb(_c, {shape})"
+                )
+                body.append(
+                    f"            g{s} = _c if g{s} is None "
+                    f"else _iadd(g{s}, _c, out=A{s})"
+                )
+        for s in sorted(grad_names):
+            lines.append(f"    g{s} = None")
+        lines.append(f"    g{root_slot} = SEED")
+        lines.extend(body)
+        in_shape = repr(self._shapes[input_slot])
+        lines.append(
+            f"    return rv, (g{input_slot}.copy() "
+            f"if g{input_slot} is not None else _zeros({in_shape}))"
+        )
+
+        self._source = "\n".join(lines)
+        exec(compile(self._source, "<compiled-tape>", "exec"), env)
+        return env["_replay"]
+
+    # -- replay --------------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> float:
+        vals = self._vals
+        aux = self._aux
+        vals[self._input_slot] = x
+        for fwd, slots, static, out, slot, aux_index in self._fwd_instr:
+            value, a = fwd([vals[s] for s in slots], static, out)
+            if value is not out and type(value) is not np.ndarray:
+                value = np.asarray(value, dtype=float)
+            vals[slot] = value
+            aux[aux_index] = a
+        return float(vals[self._root_slot])
+
+    def backward(self) -> np.ndarray:
+        vals = self._vals
+        aux = self._aux
+        gbufs = self._gbufs
+        requires = self._requires
+        shapes = self._shapes
+        grads = self._grads
+        for i in range(len(grads)):
+            grads[i] = None
+
+        root = self._root_slot
+        root_seed = gbufs[root]
+        np.copyto(root_seed, 1.0)
+        grads[root] = root_seed
+
+        for bwd, slots, static, slot, aux_index in self._bwd_instr:
+            g = grads[slot]
+            if g is None:
+                continue
+            contributions = bwd(
+                g, [vals[s] for s in slots], vals[slot], aux[aux_index], static
+            )
+            for k, s in enumerate(slots):
+                contrib = contributions[k]
+                if contrib is None or not requires[s]:
+                    continue
+                if type(contrib) is not np.ndarray:
+                    contrib = np.asarray(contrib, dtype=float)
+                if contrib.shape != shapes[s]:
+                    contrib = _unbroadcast(contrib, shapes[s])
+                current = grads[s]
+                if current is None:
+                    grads[s] = contrib
+                else:
+                    # In-place accumulation into the slot's own buffer:
+                    # np.add computes the same values as ``current +
+                    # contrib`` (interpreted semantics) without allocating.
+                    buf = gbufs[s]
+                    np.add(current, contrib, out=buf)
+                    grads[s] = buf
+
+        grad = grads[self._input_slot]
+        if grad is not None:
+            # Copy: callers (the samplers) hold gradient arrays across
+            # iterations, and the buffers are rewritten on the next replay.
+            return grad.copy()
+        return np.zeros(shapes[self._input_slot])
+
+    def value_and_grad(self, x: np.ndarray) -> Tuple[float, np.ndarray]:
+        return self._call(x)
+
+    @property
+    def n_instructions(self) -> int:
+        return len(self._fwd_instr)
+
+
+def record(fn: Callable[[Var], Var], x: np.ndarray) -> CompiledTape:
+    """Trace ``fn`` at ``x`` and return its compiled tape."""
+    leaf, root = _trace(fn, np.asarray(x, dtype=float))
+    return CompiledTape(root, leaf)
+
+
+# ---------------------------------------------------------------------------
+# The caching / fallback wrapper
+# ---------------------------------------------------------------------------
+
+class CompiledFunction:
+    """Cache-and-replay wrapper around a scalar graph builder.
+
+    ``fn`` maps a 1-D ``Var`` to a scalar ``Var`` (a model's ``_logp_var``).
+    Calls return interpreted-exact ``(value, gradient)`` whichever path ran.
+
+    ``stats`` counts cache misses (``records``), hits (``replays``),
+    interpreted evaluations after giving up (``fallbacks``), bitwise
+    cross-checks (``validations``) and cumulative ``replay_seconds``.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Var], Var],
+        validate_calls: Optional[int] = None,
+    ) -> None:
+        self._fn = fn
+        self._tape: Optional[CompiledTape] = None
+        self._broken: Optional[str] = None
+        self._pending_validation = 0
+        self._validate_calls = (
+            VALIDATE_CALLS if validate_calls is None else validate_calls
+        )
+        self._record_count = 0
+        self.stats = {
+            "records": 0,
+            "replays": 0,
+            "fallbacks": 0,
+            "validations": 0,
+            "replay_seconds": 0.0,
+        }
+
+    @property
+    def broken(self) -> Optional[str]:
+        """Why this function fell back to interpretation permanently, if so."""
+        return self._broken
+
+    def __call__(self, x: np.ndarray) -> Tuple[float, np.ndarray]:
+        x = np.asarray(x, dtype=float)
+        if self._broken is not None or not _ENABLED:
+            self.stats["fallbacks"] += 1
+            leaf, root = _trace(self._fn, x)
+            return _reference_from_trace(leaf, root, x)
+        tape = self._tape
+        if tape is None or tape.input_shape != x.shape:
+            return self._record_at(x)
+        if self._pending_validation > 0:
+            return self._validated_replay(x)
+        self.stats["replays"] += 1
+        start = perf_counter()
+        result = tape.value_and_grad(x)
+        self.stats["replay_seconds"] += perf_counter() - start
+        return result
+
+    # -- internals -----------------------------------------------------------
+
+    def _give_up(self, reason: str) -> None:
+        self._broken = reason
+        self._tape = None
+        warnings.warn(
+            f"compiled tape disabled for {self._fn!r}: {reason}; "
+            "falling back to interpreted evaluation",
+            RuntimeWarning,
+        )
+
+    def _record_at(self, x: np.ndarray) -> Tuple[float, np.ndarray]:
+        leaf, root = _trace(self._fn, x)
+        value, grad = _reference_from_trace(leaf, root, x)
+        self._install_tape(leaf, root)
+        return value, grad
+
+    def _install_tape(self, leaf: Var, root: Var) -> None:
+        if self._record_count >= MAX_RECORDS:
+            self._give_up(
+                f"graph structure changed {self._record_count} times"
+            )
+            return
+        try:
+            self._tape = CompiledTape(root, leaf)
+        except TapeUnsupportedError as exc:
+            self._give_up(str(exc))
+            return
+        self._record_count += 1
+        self.stats["records"] += 1
+        self._pending_validation = self._validate_calls
+
+    def _validated_replay(self, x: np.ndarray) -> Tuple[float, np.ndarray]:
+        tape = self._tape
+        self.stats["replays"] += 1
+        start = perf_counter()
+        value, grad = tape.value_and_grad(x)
+        self.stats["replay_seconds"] += perf_counter() - start
+
+        self.stats["validations"] += 1
+        leaf, root = _trace(self._fn, x)
+        ref_value, ref_grad = _reference_from_trace(leaf, root, x)
+        if structure_signature(root, leaf) != tape.signature:
+            # Data-dependent control flow took a different branch: the old
+            # tape is stale for this input, so re-record from this trace.
+            self._install_tape(leaf, root)
+            return ref_value, ref_grad
+        same_value = value == ref_value or (
+            np.isnan(value) and np.isnan(ref_value)
+        )
+        if not same_value or not np.array_equal(grad, ref_grad, equal_nan=True):
+            # Same structure but different numbers: some static argument is
+            # value-dependent; replaying would silently change results.
+            self._give_up(
+                "replay disagrees with interpreted evaluation "
+                "(value-dependent static argument?)"
+            )
+            return ref_value, ref_grad
+        self._pending_validation -= 1
+        return value, grad

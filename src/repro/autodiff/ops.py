@@ -4,11 +4,32 @@ Every public function accepts ``Var`` or plain numeric inputs (promoted to
 constants) and returns a ``Var`` whose ``backward_fn`` implements the exact
 vector-Jacobian product. Broadcasting follows numpy semantics; the tape layer
 un-broadcasts adjoints back to parent shapes.
+
+Primitives are defined as *kernels* — a pure forward function and a pure
+backward function registered in :data:`KERNELS` — and every ``Var`` records
+which kernel produced it (``Var.op`` / ``Var.op_static``). The interpreted
+path (graph of closures, this module) and the compiled replay path
+(:mod:`repro.autodiff.compile`) both execute these same kernel functions, so
+compiled evaluation is bit-identical to interpreted evaluation by
+construction, not by tolerance.
+
+Kernel contract::
+
+    forward(values, static, out=None) -> (value, aux)
+    backward(g, values, value, aux, static) -> tuple of contributions
+
+``values`` are the parents' numpy values (in parent order), ``static`` the
+non-differentiated arguments captured at call time, ``aux`` whatever forward
+intermediates the backward pass wants to reuse. Kernels flagged ``out_safe``
+may write their result into a preallocated ``out`` buffer (same ufunc call,
+same rounding — only the destination differs); the interpreted path always
+passes ``out=None``. A contribution of ``None`` means "no gradient to this
+parent".
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 from scipy import special as sps
@@ -16,6 +37,9 @@ from scipy import special as sps
 from repro.autodiff.tape import Var, constant
 
 ArrayLike = Union[float, int, np.ndarray, Var]
+
+_TWO_OVER_SQRT_PI = 2.0 / np.sqrt(np.pi)
+_INV_SQRT_2PI = 1.0 / np.sqrt(2.0 * np.pi)
 
 
 def _as_var(x: ArrayLike) -> Var:
@@ -25,174 +49,464 @@ def _as_var(x: ArrayLike) -> Var:
 
 
 # ---------------------------------------------------------------------------
+# Kernel registry
+# ---------------------------------------------------------------------------
+
+class OpKernel:
+    """One differentiable primitive: paired forward/backward numpy kernels."""
+
+    __slots__ = ("name", "forward", "backward", "out_safe")
+
+    def __init__(
+        self,
+        name: str,
+        forward: Callable,
+        backward: Callable,
+        out_safe: bool = False,
+    ) -> None:
+        self.name = name
+        self.forward = forward
+        self.backward = backward
+        self.out_safe = out_safe
+
+    def __repr__(self) -> str:
+        return f"OpKernel({self.name!r}, out_safe={self.out_safe})"
+
+
+#: name -> kernel; shared by the interpreted and compiled execution paths.
+KERNELS: Dict[str, OpKernel] = {}
+
+
+def register_kernel(
+    name: str,
+    forward: Callable,
+    backward: Callable,
+    out_safe: bool = False,
+) -> OpKernel:
+    """Register a primitive so both execution paths can run it by name."""
+    if name in KERNELS:
+        raise ValueError(f"kernel {name!r} already registered")
+    kernel = OpKernel(name, forward, backward, out_safe)
+    KERNELS[name] = kernel
+    return kernel
+
+
+def apply_kernel(
+    name: str,
+    parents: Sequence[Var],
+    static: tuple = (),
+    tag: Optional[str] = None,
+) -> Var:
+    """Run a registered kernel in interpreted mode, producing a graph node.
+
+    The node remembers ``(name, static)`` so the compiled-tape recorder can
+    re-dispatch to the identical kernel during replay.
+    """
+    kernel = KERNELS[name]
+    values = tuple(p.value for p in parents)
+    value, aux = kernel.forward(values, static, None)
+    node = Var(value, parents)
+    out_value = node.value
+    backward = kernel.backward
+    node.backward_fn = lambda g: backward(g, values, out_value, aux, static)
+    node.op = name
+    node.op_static = static
+    if tag is not None:
+        node.tag = tag
+    return node
+
+
+_apply = apply_kernel
+
+
+# ---------------------------------------------------------------------------
 # Arithmetic
 # ---------------------------------------------------------------------------
 
+def _add_fwd(v, static, out=None):
+    return np.add(v[0], v[1], out=out), None
+
+
+def _add_bwd(g, v, value, aux, static):
+    return (g, g)
+
+
+register_kernel("add", _add_fwd, _add_bwd, out_safe=True)
+
+
 def add(a: ArrayLike, b: ArrayLike) -> Var:
-    a, b = _as_var(a), _as_var(b)
-    return Var(a.value + b.value, (a, b), lambda g: (g, g))
+    return _apply("add", (_as_var(a), _as_var(b)))
+
+
+def _sub_fwd(v, static, out=None):
+    return np.subtract(v[0], v[1], out=out), None
+
+
+def _sub_bwd(g, v, value, aux, static):
+    return (g, -g)
+
+
+register_kernel("sub", _sub_fwd, _sub_bwd, out_safe=True)
 
 
 def sub(a: ArrayLike, b: ArrayLike) -> Var:
-    a, b = _as_var(a), _as_var(b)
-    return Var(a.value - b.value, (a, b), lambda g: (g, -g))
+    return _apply("sub", (_as_var(a), _as_var(b)))
+
+
+def _mul_fwd(v, static, out=None):
+    return np.multiply(v[0], v[1], out=out), None
+
+
+def _mul_bwd(g, v, value, aux, static):
+    return (g * v[1], g * v[0])
+
+
+register_kernel("mul", _mul_fwd, _mul_bwd, out_safe=True)
 
 
 def mul(a: ArrayLike, b: ArrayLike) -> Var:
-    a, b = _as_var(a), _as_var(b)
-    return Var(a.value * b.value, (a, b), lambda g: (g * b.value, g * a.value))
+    return _apply("mul", (_as_var(a), _as_var(b)))
+
+
+def _div_fwd(v, static, out=None):
+    # a * (1/b), matching the historical tape semantics exactly (this is
+    # not bitwise the same as a/b, so it must stay a*(1/b) on both paths).
+    inv = 1.0 / v[1]
+    return np.multiply(v[0], inv, out=out), inv
+
+
+def _div_bwd(g, v, value, aux, static):
+    inv = aux
+    return (g * inv, -g * v[0] * inv * inv)
+
+
+register_kernel("div", _div_fwd, _div_bwd, out_safe=True)
 
 
 def div(a: ArrayLike, b: ArrayLike) -> Var:
-    a, b = _as_var(a), _as_var(b)
-    inv = 1.0 / b.value
-    return Var(
-        a.value * inv,
-        (a, b),
-        lambda g: (g * inv, -g * a.value * inv * inv),
-    )
+    return _apply("div", (_as_var(a), _as_var(b)))
+
+
+def _neg_fwd(v, static, out=None):
+    return np.negative(v[0], out=out), None
+
+
+def _neg_bwd(g, v, value, aux, static):
+    return (-g,)
+
+
+register_kernel("neg", _neg_fwd, _neg_bwd, out_safe=True)
 
 
 def neg(a: ArrayLike) -> Var:
-    a = _as_var(a)
-    return Var(-a.value, (a,), lambda g: (-g,))
+    return _apply("neg", (_as_var(a),))
+
+
+def _power_fwd(v, static, out=None):
+    return np.power(v[0], static[0], out=out), None
+
+
+def _power_bwd(g, v, value, aux, static):
+    exponent = static[0]
+    return (g * exponent * v[0] ** (exponent - 1.0),)
+
+
+register_kernel("power", _power_fwd, _power_bwd, out_safe=True)
 
 
 def power(a: ArrayLike, exponent: float) -> Var:
     """``a ** exponent`` for a constant (non-differentiated) exponent."""
-    a = _as_var(a)
-    out = a.value ** exponent
-    return Var(out, (a,), lambda g: (g * exponent * a.value ** (exponent - 1.0),))
+    return _apply("power", (_as_var(a),), (exponent,))
+
+
+def _square_fwd(v, static, out=None):
+    return np.multiply(v[0], v[0], out=out), None
+
+
+def _square_bwd(g, v, value, aux, static):
+    return (g * 2.0 * v[0],)
+
+
+register_kernel("square", _square_fwd, _square_bwd, out_safe=True)
 
 
 def square(a: ArrayLike) -> Var:
-    a = _as_var(a)
-    return Var(a.value * a.value, (a,), lambda g: (g * 2.0 * a.value,))
+    return _apply("square", (_as_var(a),))
+
+
+def _abs_fwd(v, static, out=None):
+    return np.absolute(v[0], out=out), None
+
+
+def _abs_bwd(g, v, value, aux, static):
+    return (g * np.sign(v[0]),)
+
+
+register_kernel("absolute", _abs_fwd, _abs_bwd, out_safe=True)
 
 
 def absolute(a: ArrayLike) -> Var:
-    a = _as_var(a)
-    return Var(np.abs(a.value), (a,), lambda g: (g * np.sign(a.value),))
+    return _apply("absolute", (_as_var(a),))
 
 
 # ---------------------------------------------------------------------------
 # Elementwise transcendentals
 # ---------------------------------------------------------------------------
 
+def _exp_fwd(v, static, out=None):
+    out = np.exp(v[0], out=out)
+    return out, None
+
+
+def _exp_bwd(g, v, value, aux, static):
+    return (g * value,)
+
+
+register_kernel("exp", _exp_fwd, _exp_bwd, out_safe=True)
+
+
 def exp(a: ArrayLike) -> Var:
-    a = _as_var(a)
-    out = np.exp(a.value)
-    return Var(out, (a,), lambda g: (g * out,))
+    return _apply("exp", (_as_var(a),))
+
+
+def _log_fwd(v, static, out=None):
+    return np.log(v[0], out=out), None
+
+
+def _log_bwd(g, v, value, aux, static):
+    return (g / v[0],)
+
+
+register_kernel("log", _log_fwd, _log_bwd, out_safe=True)
 
 
 def log(a: ArrayLike) -> Var:
-    a = _as_var(a)
-    return Var(np.log(a.value), (a,), lambda g: (g / a.value,))
+    return _apply("log", (_as_var(a),))
+
+
+def _log1p_fwd(v, static, out=None):
+    return np.log1p(v[0], out=out), None
+
+
+def _log1p_bwd(g, v, value, aux, static):
+    return (g / (1.0 + v[0]),)
+
+
+register_kernel("log1p", _log1p_fwd, _log1p_bwd, out_safe=True)
 
 
 def log1p(a: ArrayLike) -> Var:
-    a = _as_var(a)
-    return Var(np.log1p(a.value), (a,), lambda g: (g / (1.0 + a.value),))
+    return _apply("log1p", (_as_var(a),))
+
+
+def _expm1_fwd(v, static, out=None):
+    return np.expm1(v[0], out=out), None
+
+
+def _expm1_bwd(g, v, value, aux, static):
+    return (g * (value + 1.0),)
+
+
+register_kernel("expm1", _expm1_fwd, _expm1_bwd, out_safe=True)
 
 
 def expm1(a: ArrayLike) -> Var:
-    a = _as_var(a)
-    out = np.expm1(a.value)
-    return Var(out, (a,), lambda g: (g * (out + 1.0),))
+    return _apply("expm1", (_as_var(a),))
+
+
+def _sqrt_fwd(v, static, out=None):
+    return np.sqrt(v[0], out=out), None
+
+
+def _sqrt_bwd(g, v, value, aux, static):
+    return (g * 0.5 / value,)
+
+
+register_kernel("sqrt", _sqrt_fwd, _sqrt_bwd, out_safe=True)
 
 
 def sqrt(a: ArrayLike) -> Var:
-    a = _as_var(a)
-    out = np.sqrt(a.value)
-    return Var(out, (a,), lambda g: (g * 0.5 / out,))
+    return _apply("sqrt", (_as_var(a),))
+
+
+def _sin_fwd(v, static, out=None):
+    return np.sin(v[0], out=out), None
+
+
+def _sin_bwd(g, v, value, aux, static):
+    return (g * np.cos(v[0]),)
+
+
+register_kernel("sin", _sin_fwd, _sin_bwd, out_safe=True)
 
 
 def sin(a: ArrayLike) -> Var:
-    a = _as_var(a)
-    return Var(np.sin(a.value), (a,), lambda g: (g * np.cos(a.value),))
+    return _apply("sin", (_as_var(a),))
+
+
+def _cos_fwd(v, static, out=None):
+    return np.cos(v[0], out=out), None
+
+
+def _cos_bwd(g, v, value, aux, static):
+    return (-g * np.sin(v[0]),)
+
+
+register_kernel("cos", _cos_fwd, _cos_bwd, out_safe=True)
 
 
 def cos(a: ArrayLike) -> Var:
-    a = _as_var(a)
-    return Var(np.cos(a.value), (a,), lambda g: (-g * np.sin(a.value),))
+    return _apply("cos", (_as_var(a),))
+
+
+def _tanh_fwd(v, static, out=None):
+    return np.tanh(v[0], out=out), None
+
+
+def _tanh_bwd(g, v, value, aux, static):
+    return (g * (1.0 - value * value),)
+
+
+register_kernel("tanh", _tanh_fwd, _tanh_bwd, out_safe=True)
 
 
 def tanh(a: ArrayLike) -> Var:
-    a = _as_var(a)
-    out = np.tanh(a.value)
-    return Var(out, (a,), lambda g: (g * (1.0 - out * out),))
+    return _apply("tanh", (_as_var(a),))
+
+
+def _sigmoid_fwd(v, static, out=None):
+    return sps.expit(v[0], out=out), None
+
+
+def _sigmoid_bwd(g, v, value, aux, static):
+    return (g * value * (1.0 - value),)
+
+
+register_kernel("sigmoid", _sigmoid_fwd, _sigmoid_bwd, out_safe=True)
 
 
 def sigmoid(a: ArrayLike) -> Var:
     """Numerically stable logistic function."""
-    a = _as_var(a)
-    out = sps.expit(a.value)
-    return Var(out, (a,), lambda g: (g * out * (1.0 - out),))
+    return _apply("sigmoid", (_as_var(a),))
+
+
+def _softplus_fwd(v, static, out=None):
+    value = np.logaddexp(0.0, v[0], out=out)
+    return value, sps.expit(v[0])
+
+
+def _softplus_bwd(g, v, value, aux, static):
+    return (g * aux,)
+
+
+register_kernel("softplus", _softplus_fwd, _softplus_bwd, out_safe=True)
 
 
 def softplus(a: ArrayLike) -> Var:
     """log(1 + exp(a)), computed stably."""
-    a = _as_var(a)
-    out = np.logaddexp(0.0, a.value)
-    s = sps.expit(a.value)
-    return Var(out, (a,), lambda g: (g * s,))
+    return _apply("softplus", (_as_var(a),))
+
+
+def _log_sigmoid_fwd(v, static, out=None):
+    value = np.negative(np.logaddexp(0.0, -v[0]), out=out)
+    return value, sps.expit(-v[0])
+
+
+def _log_sigmoid_bwd(g, v, value, aux, static):
+    return (g * aux,)
+
+
+register_kernel("log_sigmoid", _log_sigmoid_fwd, _log_sigmoid_bwd, out_safe=True)
 
 
 def log_sigmoid(a: ArrayLike) -> Var:
     """log(sigmoid(a)) = -softplus(-a), computed stably."""
-    a = _as_var(a)
-    out = -np.logaddexp(0.0, -a.value)
-    s = sps.expit(-a.value)
-    return Var(out, (a,), lambda g: (g * s,))
+    return _apply("log_sigmoid", (_as_var(a),))
+
+
+def _lgamma_fwd(v, static, out=None):
+    return sps.gammaln(v[0], out=out), None
+
+
+def _lgamma_bwd(g, v, value, aux, static):
+    return (g * sps.digamma(v[0]),)
+
+
+register_kernel("lgamma", _lgamma_fwd, _lgamma_bwd, out_safe=True)
 
 
 def lgamma(a: ArrayLike) -> Var:
     """log |Gamma(a)|; derivative is the digamma function."""
-    a = _as_var(a)
-    return Var(sps.gammaln(a.value), (a,), lambda g: (g * sps.digamma(a.value),))
+    return _apply("lgamma", (_as_var(a),))
+
+
+def _erf_fwd(v, static, out=None):
+    return sps.erf(v[0], out=out), None
+
+
+def _erf_bwd(g, v, value, aux, static):
+    return (g * _TWO_OVER_SQRT_PI * np.exp(-v[0] * v[0]),)
+
+
+register_kernel("erf", _erf_fwd, _erf_bwd, out_safe=True)
 
 
 def erf(a: ArrayLike) -> Var:
-    a = _as_var(a)
-    two_over_sqrt_pi = 2.0 / np.sqrt(np.pi)
-    return Var(
-        sps.erf(a.value),
-        (a,),
-        lambda g: (g * two_over_sqrt_pi * np.exp(-a.value * a.value),),
-    )
+    return _apply("erf", (_as_var(a),))
+
+
+def _normal_cdf_fwd(v, static, out=None):
+    return sps.ndtr(v[0], out=out), None
+
+
+def _normal_cdf_bwd(g, v, value, aux, static):
+    return (g * _INV_SQRT_2PI * np.exp(-0.5 * v[0] * v[0]),)
+
+
+register_kernel("normal_cdf", _normal_cdf_fwd, _normal_cdf_bwd, out_safe=True)
 
 
 def normal_cdf(a: ArrayLike) -> Var:
     """Standard normal CDF Phi(a)."""
-    a = _as_var(a)
-    inv_sqrt_2pi = 1.0 / np.sqrt(2.0 * np.pi)
-    return Var(
-        sps.ndtr(a.value),
-        (a,),
-        lambda g: (g * inv_sqrt_2pi * np.exp(-0.5 * a.value * a.value),),
-    )
+    return _apply("normal_cdf", (_as_var(a),))
+
+
+def _arctan_fwd(v, static, out=None):
+    return np.arctan(v[0], out=out), None
+
+
+def _arctan_bwd(g, v, value, aux, static):
+    return (g / (1.0 + v[0] * v[0]),)
+
+
+register_kernel("arctan", _arctan_fwd, _arctan_bwd, out_safe=True)
 
 
 def arctan(a: ArrayLike) -> Var:
-    a = _as_var(a)
-    return Var(np.arctan(a.value), (a,), lambda g: (g / (1.0 + a.value * a.value),))
+    return _apply("arctan", (_as_var(a),))
 
 
 # ---------------------------------------------------------------------------
 # Reductions
 # ---------------------------------------------------------------------------
 
+def _reduce_sum_fwd(v, static, out=None):
+    return np.sum(v[0], axis=static[0], out=out), None
+
+
+def _reduce_sum_bwd(g, v, value, aux, static):
+    axis = static[0]
+    if axis is None:
+        return (np.broadcast_to(g, v[0].shape),)
+    expanded = np.expand_dims(g, axis)
+    return (np.broadcast_to(expanded, v[0].shape),)
+
+
+register_kernel("reduce_sum", _reduce_sum_fwd, _reduce_sum_bwd, out_safe=True)
+
+
 def reduce_sum(a: ArrayLike, axis: Optional[int] = None) -> Var:
-    a = _as_var(a)
-    out = a.value.sum(axis=axis)
-
-    def backward(g: np.ndarray):
-        if axis is None:
-            return (np.broadcast_to(g, a.value.shape),)
-        expanded = np.expand_dims(g, axis)
-        return (np.broadcast_to(expanded, a.value.shape),)
-
-    return Var(out, (a,), backward)
+    return _apply("reduce_sum", (_as_var(a),), (axis,))
 
 
 # Stan-style alias; "sum" shadows the builtin only within explicit ops.sum use.
@@ -205,151 +519,275 @@ def mean(a: ArrayLike, axis: Optional[int] = None) -> Var:
     return div(reduce_sum(a, axis=axis), float(count))
 
 
+def _logsumexp_fwd(v, static, out=None):
+    return sps.logsumexp(v[0], axis=static[0]), None
+
+
+def _logsumexp_bwd(g, v, value, aux, static):
+    axis = static[0]
+    if axis is None:
+        soft = np.exp(v[0] - value)
+        return (g * soft,)
+    expanded_out = np.expand_dims(value, axis)
+    soft = np.exp(v[0] - expanded_out)
+    return (np.expand_dims(g, axis) * soft,)
+
+
+register_kernel("logsumexp", _logsumexp_fwd, _logsumexp_bwd)
+
+
 def logsumexp(a: ArrayLike, axis: Optional[int] = None) -> Var:
     """Stable log(sum(exp(a))) with softmax backward."""
-    a = _as_var(a)
-    out = sps.logsumexp(a.value, axis=axis)
+    return _apply("logsumexp", (_as_var(a),), (axis,))
 
-    def backward(g: np.ndarray):
-        if axis is None:
-            soft = np.exp(a.value - out)
-            return (g * soft,)
-        expanded_out = np.expand_dims(out, axis)
-        soft = np.exp(a.value - expanded_out)
-        return (np.expand_dims(g, axis) * soft,)
 
-    return Var(out, (a,), backward)
+def _dot_fwd(v, static, out=None):
+    return v[0] @ v[1], None
+
+
+def _dot_bwd(g, v, value, aux, static):
+    return (g * v[1], g * v[0])
+
+
+register_kernel("dot", _dot_fwd, _dot_bwd)
 
 
 def dot(a: ArrayLike, b: ArrayLike) -> Var:
     """Inner product of two 1-D arrays."""
-    a, b = _as_var(a), _as_var(b)
-    return Var(a.value @ b.value, (a, b), lambda g: (g * b.value, g * a.value))
+    return _apply("dot", (_as_var(a), _as_var(b)))
+
+
+def _matvec_fwd(v, static, out=None):
+    return v[0] @ v[1], None
+
+
+def _matvec_bwd(g, v, value, aux, static):
+    return (np.outer(g, v[1]), v[0].T @ g)
+
+
+register_kernel("matvec", _matvec_fwd, _matvec_bwd)
 
 
 def matvec(m: ArrayLike, v: ArrayLike) -> Var:
     """Matrix-vector product ``m @ v`` for 2-D ``m`` and 1-D ``v``."""
-    m, v = _as_var(m), _as_var(v)
-    return Var(
-        m.value @ v.value,
-        (m, v),
-        lambda g: (np.outer(g, v.value), m.value.T @ g),
-    )
+    return _apply("matvec", (_as_var(m), _as_var(v)))
+
+
+def _matmul_fwd(v, static, out=None):
+    return np.matmul(v[0], v[1], out=out), None
+
+
+def _matmul_bwd(g, v, value, aux, static):
+    return (g @ v[1].T, v[0].T @ g)
+
+
+register_kernel("matmul", _matmul_fwd, _matmul_bwd, out_safe=True)
 
 
 def matmul(a: ArrayLike, b: ArrayLike) -> Var:
     """Matrix-matrix product for 2-D operands."""
-    a, b = _as_var(a), _as_var(b)
-    return Var(
-        a.value @ b.value,
-        (a, b),
-        lambda g: (g @ b.value.T, a.value.T @ g),
-    )
+    return _apply("matmul", (_as_var(a), _as_var(b)))
 
 
 # ---------------------------------------------------------------------------
 # Shaping / indexing
 # ---------------------------------------------------------------------------
 
+def _reshape_fwd(v, static, out=None):
+    return v[0].reshape(static[0]), None
+
+
+def _reshape_bwd(g, v, value, aux, static):
+    return (g.reshape(v[0].shape),)
+
+
+register_kernel("reshape", _reshape_fwd, _reshape_bwd)
+
+
 def reshape(a: ArrayLike, shape) -> Var:
-    a = _as_var(a)
-    return Var(a.value.reshape(shape), (a,), lambda g: (g.reshape(a.value.shape),))
+    return _apply("reshape", (_as_var(a),), (shape,))
+
+
+def _take_fwd(v, static, out=None):
+    return v[0][static[0]], None
+
+
+def _take_bwd(g, v, value, aux, static):
+    grad = np.zeros_like(v[0])
+    np.add.at(grad, static[0], g)
+    return (grad,)
+
+
+register_kernel("take", _take_fwd, _take_bwd)
 
 
 def take(a: ArrayLike, indices) -> Var:
     """Gather ``a[indices]`` (fancy indexing with an integer array)."""
-    a = _as_var(a)
-    indices = np.asarray(indices)
-    out = a.value[indices]
+    return _apply(
+        "take", (_as_var(a),), (np.asarray(indices),), tag="gather"
+    )
 
-    def backward(g: np.ndarray):
-        grad = np.zeros_like(a.value)
-        np.add.at(grad, indices, g)
-        return (grad,)
 
-    node = Var(out, (a,), backward)
-    node.tag = "gather"
-    return node
+def _getitem_fwd(v, static, out=None):
+    return v[0][static[0]], None
+
+
+def _getitem_bwd(g, v, value, aux, static):
+    grad = np.zeros_like(v[0])
+    np.add.at(grad, static[0], g)
+    return (grad,)
+
+
+register_kernel("getitem", _getitem_fwd, _getitem_bwd)
 
 
 def getitem(a: ArrayLike, key) -> Var:
     """Basic slicing/scalar indexing ``a[key]``."""
-    a = _as_var(a)
     if isinstance(key, (np.ndarray, list)):
         return take(a, key)
-    out = a.value[key]
+    return _apply("getitem", (_as_var(a),), (key,))
 
-    def backward(g: np.ndarray):
-        grad = np.zeros_like(a.value)
-        np.add.at(grad, key, g)
-        return (grad,)
 
-    return Var(out, (a,), backward)
+def _concat_fwd(v, static, out=None):
+    values = [np.atleast_1d(part) for part in v]
+    sizes = [part.shape[0] for part in values]
+    offsets = np.cumsum([0] + sizes)
+    return np.concatenate(values), offsets
+
+
+def _concat_bwd(g, v, value, aux, static):
+    offsets = aux
+    return tuple(
+        g[offsets[i]:offsets[i + 1]].reshape(v[i].shape)
+        for i in range(len(v))
+    )
+
+
+register_kernel("concat", _concat_fwd, _concat_bwd)
 
 
 def concat(parts: Sequence[ArrayLike]) -> Var:
-    parts = [_as_var(p) for p in parts]
-    values = [np.atleast_1d(p.value) for p in parts]
-    sizes = [v.shape[0] for v in values]
-    out = np.concatenate(values)
-    offsets = np.cumsum([0] + sizes)
+    return _apply("concat", tuple(_as_var(p) for p in parts))
 
-    def backward(g: np.ndarray):
-        return tuple(
-            g[offsets[i]:offsets[i + 1]].reshape(parts[i].value.shape)
-            for i in range(len(parts))
-        )
 
-    return Var(out, tuple(parts), backward)
+def _stack_fwd(v, static, out=None):
+    return np.stack(v), None
+
+
+def _stack_bwd(g, v, value, aux, static):
+    return tuple(g[i] for i in range(len(v)))
+
+
+register_kernel("stack", _stack_fwd, _stack_bwd)
 
 
 def stack(parts: Sequence[ArrayLike]) -> Var:
     """Stack scalars/equal-shape arrays along a new leading axis."""
-    parts = [_as_var(p) for p in parts]
-    out = np.stack([p.value for p in parts])
+    return _apply("stack", tuple(_as_var(p) for p in parts))
 
-    def backward(g: np.ndarray):
-        return tuple(g[i] for i in range(len(parts)))
 
-    return Var(out, tuple(parts), backward)
+def _cumsum_fwd(v, static, out=None):
+    return np.cumsum(v[0], out=out), None
+
+
+def _cumsum_bwd(g, v, value, aux, static):
+    return (np.cumsum(g[::-1])[::-1],)
+
+
+register_kernel("cumsum", _cumsum_fwd, _cumsum_bwd, out_safe=True)
 
 
 def cumsum(a: ArrayLike) -> Var:
-    a = _as_var(a)
-    out = np.cumsum(a.value)
-    return Var(out, (a,), lambda g: (np.cumsum(g[::-1])[::-1],))
+    return _apply("cumsum", (_as_var(a),))
+
+
+def _outer_fwd(v, static, out=None):
+    return np.outer(v[0], v[1]), None
+
+
+def _outer_bwd(g, v, value, aux, static):
+    return (g @ v[1], g.T @ v[0])
+
+
+register_kernel("outer", _outer_fwd, _outer_bwd)
 
 
 def outer(a: ArrayLike, b: ArrayLike) -> Var:
-    a, b = _as_var(a), _as_var(b)
-    return Var(
-        np.outer(a.value, b.value),
-        (a, b),
-        lambda g: (g @ b.value, g.T @ a.value),
-    )
+    return _apply("outer", (_as_var(a), _as_var(b)))
+
+
+def _transpose_fwd(v, static, out=None):
+    return v[0].T, None
+
+
+def _transpose_bwd(g, v, value, aux, static):
+    return (g.T,)
+
+
+register_kernel("transpose", _transpose_fwd, _transpose_bwd)
+
+
+def transpose(m: ArrayLike) -> Var:
+    """Differentiable matrix transpose."""
+    return _apply("transpose", (_as_var(m),))
+
+
+def _where_fwd(v, static, out=None):
+    return np.where(static[0], v[0], v[1]), None
+
+
+def _where_bwd(g, v, value, aux, static):
+    cond = static[0]
+    return (np.where(cond, g, 0.0), np.where(cond, 0.0, g))
+
+
+register_kernel("where", _where_fwd, _where_bwd)
 
 
 def where(cond: np.ndarray, a: ArrayLike, b: ArrayLike) -> Var:
     """Select elementwise; ``cond`` is a plain boolean array (not differentiated)."""
     cond = np.asarray(cond, dtype=bool)
-    a, b = _as_var(a), _as_var(b)
-    return Var(
-        np.where(cond, a.value, b.value),
-        (a, b),
-        lambda g: (np.where(cond, g, 0.0), np.where(cond, 0.0, g)),
-    )
+    return _apply("where", (_as_var(a), _as_var(b)), (cond,))
+
+
+def _clip_min_fwd(v, static, out=None):
+    # The mask is recomputed on every forward (it depends on the input
+    # value), so replay at a new point stays correct.
+    return np.maximum(v[0], static[0], out=out), v[0] > static[0]
+
+
+def _clip_min_bwd(g, v, value, aux, static):
+    return (g * aux,)
+
+
+register_kernel("clip_min", _clip_min_fwd, _clip_min_bwd, out_safe=True)
 
 
 def clip_min(a: ArrayLike, lo: float) -> Var:
     """max(a, lo); gradient is zero where clipped."""
-    a = _as_var(a)
-    mask = a.value > lo
-    return Var(np.maximum(a.value, lo), (a,), lambda g: (g * mask,))
+    return _apply("clip_min", (_as_var(a),), (lo,))
 
 
 # ---------------------------------------------------------------------------
 # Composite linear-algebra ops with custom adjoints
 # ---------------------------------------------------------------------------
+
+def _quadratic_form_inv_fwd(v, static, out=None):
+    y = static[0]
+    chol = np.linalg.cholesky(v[0])
+    alpha = np.linalg.solve(chol.T, np.linalg.solve(chol, y))
+    return float(y @ alpha), alpha
+
+
+def _quadratic_form_inv_bwd(g, v, value, aux, static):
+    alpha = aux
+    return (-g * np.outer(alpha, alpha),)
+
+
+register_kernel(
+    "quadratic_form_inv", _quadratic_form_inv_fwd, _quadratic_form_inv_bwd
+)
+
 
 def quadratic_form_inv(k: ArrayLike, y: np.ndarray) -> Var:
     """``y^T K^{-1} y`` with adjoint ``-alpha alpha^T`` where ``alpha=K^{-1}y``.
@@ -357,63 +795,75 @@ def quadratic_form_inv(k: ArrayLike, y: np.ndarray) -> Var:
     ``y`` is data (not differentiated); ``K`` must be symmetric positive
     definite. Used by the Gaussian-process workload.
     """
-    k = _as_var(k)
-    y = np.asarray(y, dtype=float)
-    chol = np.linalg.cholesky(k.value)
-    alpha = np.linalg.solve(chol.T, np.linalg.solve(chol, y))
-    out = float(y @ alpha)
-    return Var(out, (k,), lambda g: (-g * np.outer(alpha, alpha),))
+    return _apply(
+        "quadratic_form_inv", (_as_var(k),), (np.asarray(y, dtype=float),)
+    )
+
+
+def _logdet_spd_fwd(v, static, out=None):
+    chol = np.linalg.cholesky(v[0])
+    return 2.0 * float(np.log(np.diag(chol)).sum()), chol
+
+
+def _logdet_spd_bwd(g, v, value, aux, static):
+    chol = aux
+    identity = np.eye(v[0].shape[0])
+    k_inv = np.linalg.solve(chol.T, np.linalg.solve(chol, identity))
+    return (g * k_inv,)
+
+
+register_kernel("logdet_spd", _logdet_spd_fwd, _logdet_spd_bwd)
 
 
 def logdet_spd(k: ArrayLike) -> Var:
     """log det K for symmetric positive definite K; adjoint is ``K^{-1}``."""
-    k = _as_var(k)
-    chol = np.linalg.cholesky(k.value)
-    out = 2.0 * float(np.log(np.diag(chol)).sum())
+    return _apply("logdet_spd", (_as_var(k),))
 
-    def backward(g: np.ndarray):
-        identity = np.eye(k.value.shape[0])
-        k_inv = np.linalg.solve(chol.T, np.linalg.solve(chol, identity))
-        return (g * k_inv,)
 
-    return Var(out, (k,), backward)
+def _solve_spd_fwd(v, static, out=None):
+    chol = np.linalg.cholesky(v[0])
+    x = np.linalg.solve(chol.T, np.linalg.solve(chol, v[1]))
+    return x, chol
+
+
+def _solve_spd_bwd(g, v, value, aux, static):
+    chol = aux
+    gbar = np.linalg.solve(chol.T, np.linalg.solve(chol, g))
+    return (-np.outer(gbar, value), gbar)
+
+
+register_kernel("solve_spd", _solve_spd_fwd, _solve_spd_bwd)
 
 
 def solve_spd(k: ArrayLike, y: ArrayLike) -> Var:
     """``K^{-1} y`` for SPD ``K`` (both differentiable)."""
-    k, y = _as_var(k), _as_var(y)
-    chol = np.linalg.cholesky(k.value)
+    return _apply("solve_spd", (_as_var(k), _as_var(y)))
 
-    def _solve(rhs: np.ndarray) -> np.ndarray:
-        return np.linalg.solve(chol.T, np.linalg.solve(chol, rhs))
 
-    x = _solve(y.value)
+def _cholesky_lower_fwd(v, static, out=None):
+    return np.linalg.cholesky(v[0]), None
 
-    def backward(g: np.ndarray):
-        gbar = _solve(g)
-        return (-np.outer(gbar, x), gbar)
 
-    return Var(x, (k, y), backward)
+def _cholesky_lower_bwd(g, v, value, aux, static):
+    # Murray (2016), "Differentiation of the Cholesky decomposition":
+    # Kbar = L^{-T} Phi(L^T Lbar) L^{-1} with Phi = tril, halved diagonal,
+    # then symmetrized because K is used as a symmetric matrix.
+    chol = value
+    n = chol.shape[0]
+    lbar = np.asarray(g, dtype=float)
+    phi = np.tril(chol.T @ lbar)
+    phi[np.diag_indices(n)] *= 0.5
+    inv_l = np.linalg.solve(chol, np.eye(n))
+    kbar = inv_l.T @ phi @ inv_l
+    return (0.5 * (kbar + kbar.T),)
+
+
+register_kernel("cholesky_lower", _cholesky_lower_fwd, _cholesky_lower_bwd)
 
 
 def cholesky_lower(k: ArrayLike) -> Var:
     """Lower Cholesky factor L of SPD K with the standard reverse-mode adjoint."""
-    k = _as_var(k)
-    chol = np.linalg.cholesky(k.value)
-
-    def backward(g: np.ndarray):
-        # Murray (2016), "Differentiation of the Cholesky decomposition":
-        # Kbar = L^{-T} Phi(L^T Lbar) L^{-1} with Phi = tril, halved diagonal,
-        # then symmetrized because K is used as a symmetric matrix.
-        n = chol.shape[0]
-        lbar = np.asarray(g, dtype=float)
-        phi = np.tril(chol.T @ lbar)
-        phi[np.diag_indices(n)] *= 0.5
-        inv_l = np.linalg.solve(chol, np.eye(n))
-        kbar = inv_l.T @ phi @ inv_l
-        return (0.5 * (kbar + kbar.T),)
-
-    return Var(chol, (k,), backward)
+    return _apply("cholesky_lower", (_as_var(k),))
 
 
 # ---------------------------------------------------------------------------

@@ -55,6 +55,7 @@ class Var:
 
     __slots__ = (
         "value", "parents", "backward_fn", "grad", "_id", "requires_grad", "tag",
+        "op", "op_static",
     )
 
     def __init__(
@@ -71,6 +72,11 @@ class Var:
         self.requires_grad = requires_grad
         #: optional op annotation (e.g. "gather") used by arch profiling
         self.tag: Optional[str] = None
+        #: kernel-registry name and static arguments, set by ops._apply();
+        #: None for leaves and for nodes built outside the registry (which
+        #: the compiled-tape recorder treats as uncompilable).
+        self.op: Optional[str] = None
+        self.op_static: tuple = ()
         self._id = next(_NODE_COUNTER)
 
     # -- introspection -----------------------------------------------------
@@ -116,9 +122,17 @@ def var(value: ArrayLike) -> Var:
 
 
 def constant(value: ArrayLike) -> Var:
-    """Create a non-differentiable leaf node (data, hyperparameters)."""
+    """Create a non-differentiable leaf node (data, hyperparameters).
+
+    A ``Var`` argument is *detached*: the returned leaf shares the value but
+    drops the graph connection, so no gradient flows through it — matching
+    the documented "non-differentiable" contract even when handed a node
+    that was produced by differentiable ops.
+    """
     if isinstance(value, Var):
-        return value
+        if not value.requires_grad and value.backward_fn is None:
+            return value
+        return Var(value.value, requires_grad=False)
     return Var(value, requires_grad=False)
 
 

@@ -20,6 +20,7 @@ from typing import List
 
 import numpy as np
 
+from repro.inference.chain import model_logp_and_grad
 from repro.inference.results import ChainResult, SamplingResult
 
 
@@ -87,6 +88,7 @@ class ADVI:
         self, model, rng: np.random.Generator, x0: np.ndarray | None = None
     ) -> AdviResult:
         dim = model.dim
+        logp_and_grad = model_logp_and_grad(model)
         mu = (
             np.asarray(x0, dtype=float).copy()
             if x0 is not None
@@ -118,7 +120,7 @@ class ADVI:
             for _ in range(self.n_mc_samples):
                 eps = rng.normal(size=dim)
                 x = mu + sigma * eps
-                logp, grad_logp = model.logp_and_grad(x)
+                logp, grad_logp = logp_and_grad(x)
                 n_evals += 1
                 if not np.isfinite(logp):
                     continue

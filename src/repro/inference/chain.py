@@ -20,6 +20,21 @@ from repro.inference.results import IterationHook, SamplingResult, compose_hooks
 DEFAULT_CHAINS = 4
 
 
+def model_logp_and_grad(model):
+    """The gradient evaluator a sampler hot loop should call on ``model``.
+
+    Uses the model's compiled-tape seam (:meth:`BayesianModel
+    .logp_and_grad_fn`) when available so gradient-bound engines replay the
+    recorded tape instead of rebuilding the autodiff graph each iteration;
+    falls back to plain ``logp_and_grad`` for model-like objects without the
+    seam (test doubles, wrappers).
+    """
+    fn = getattr(model, "logp_and_grad_fn", None)
+    if fn is not None:
+        return fn()
+    return model.logp_and_grad
+
+
 def chain_rng(seed: int, chain_index: int) -> np.random.Generator:
     """The canonical RNG stream of chain ``chain_index`` under ``seed``.
 
@@ -118,10 +133,13 @@ def run_chains(
     # uninstrumented path stays bit-and-time-identical.
     from repro import telemetry
 
+    tape_before = None
     if telemetry.enabled():
         iteration_hook = compose_hooks(
             telemetry.sampler_hook(model.name, sampler), iteration_hook
         )
+        stats = getattr(model, "tape_stats", lambda: None)()
+        tape_before = dict(stats) if stats else {}
 
     chains = []
     for chain_index in range(n_chains):
@@ -132,6 +150,15 @@ def run_chains(
                 iteration_hook=iteration_hook,
             )
         )
+
+    if tape_before is not None:
+        stats = getattr(model, "tape_stats", lambda: None)()
+        if stats:
+            deltas = {
+                f"tape_{key}": value - tape_before.get(key, 0)
+                for key, value in stats.items()
+            }
+            telemetry.observe_tape_stats(telemetry.get_registry(), deltas)
 
     return SamplingResult(
         model_name=model.name,

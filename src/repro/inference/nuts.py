@@ -25,7 +25,7 @@ from repro.inference.adaptation import (
     WelfordVariance,
     find_reasonable_step_size,
 )
-from repro.inference.chain import restore_sampler_prefix
+from repro.inference.chain import model_logp_and_grad, restore_sampler_prefix
 from repro.inference.hmc import kinetic_energy, leapfrog
 from repro.inference.results import ChainResult, IterationHook, StateCapture
 
@@ -88,7 +88,7 @@ class NUTS:
         if n_warmup is None:
             n_warmup = n_iterations // 2
         dim = x0.shape[0]
-        logp_and_grad = model.logp_and_grad
+        logp_and_grad = model_logp_and_grad(model)
 
         samples = np.empty((n_iterations, dim))
         logps = np.empty(n_iterations)

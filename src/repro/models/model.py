@@ -22,6 +22,7 @@ from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.autodiff import compile as tape_compile
 from repro.autodiff import ops
 from repro.autodiff.functional import value_and_grad
 from repro.autodiff.tape import Var
@@ -68,6 +69,7 @@ class BayesianModel(abc.ABC):
 
     def __init__(self) -> None:
         self._data_arrays: Dict[str, np.ndarray] = {}
+        self._compiled: "tape_compile.CompiledFunction | None" = None
 
     # -- to be provided by concrete models ----------------------------------
 
@@ -90,6 +92,8 @@ class BayesianModel(abc.ABC):
         """
         for name, arr in arrays.items():
             self._data_arrays[name] = np.asarray(arr)
+        # New data invalidates any recorded tape: the graph constants changed.
+        self._compiled = None
 
     def data(self, name: str) -> np.ndarray:
         return self._data_arrays[name]
@@ -156,7 +160,7 @@ class BayesianModel(abc.ABC):
 
     def logp(self, x: np.ndarray) -> float:
         """Log density (including Jacobians) at unconstrained ``x``."""
-        value, _ = self.logp_and_grad(x)
+        value, _ = self.logp_and_grad_fn()(x)
         return value
 
     def logp_and_grad(self, x: np.ndarray) -> Tuple[float, np.ndarray]:
@@ -176,6 +180,52 @@ class BayesianModel(abc.ABC):
         if not np.isfinite(value):
             return float("-inf"), np.zeros_like(np.asarray(x, dtype=float))
         return value, gradient
+
+    def compiled_logp_and_grad(self, x: np.ndarray) -> Tuple[float, np.ndarray]:
+        """:meth:`logp_and_grad` through the compiled-tape replay engine.
+
+        Records the ``logp`` graph on first use (and whenever the graph
+        structure or data changes) and replays it afterwards — bit-identical
+        to the interpreted path, just without rebuilding the graph per call.
+        Falls back to interpretation transparently when the graph cannot be
+        compiled; the ``-inf`` rejection semantics are identical either way.
+        """
+        compiled = self._compiled
+        if compiled is None:
+            compiled = tape_compile.CompiledFunction(self._logp_var)
+            self._compiled = compiled
+        try:
+            with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+                value, gradient = compiled(x)
+        except np.linalg.LinAlgError:
+            return float("-inf"), np.zeros_like(np.asarray(x, dtype=float))
+        if not np.isfinite(value):
+            return float("-inf"), np.zeros_like(np.asarray(x, dtype=float))
+        return value, gradient
+
+    def logp_and_grad_fn(self):
+        """The gradient evaluator the sampler hot path should call.
+
+        Returns :meth:`compiled_logp_and_grad` when compiled tapes are
+        enabled (the default) and plain :meth:`logp_and_grad` otherwise.
+        """
+        if tape_compile.enabled():
+            return self.compiled_logp_and_grad
+        return self.logp_and_grad
+
+    def tape_stats(self) -> "Dict[str, float] | None":
+        """Compiled-tape counters (records/replays/fallbacks/...), if any."""
+        compiled = self._compiled
+        if compiled is None:
+            return None
+        return dict(compiled.stats)
+
+    def __getstate__(self):
+        # Compiled tapes hold generated code and kernel closures; drop them
+        # so models stay picklable (serve workers re-record after unpickling).
+        state = dict(self.__dict__)
+        state["_compiled"] = None
+        return state
 
     def constrain(self, x: np.ndarray) -> Dict[str, np.ndarray]:
         """Map an unconstrained draw to named constrained parameter arrays."""

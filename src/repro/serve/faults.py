@@ -118,6 +118,14 @@ class _PoisonedModel:
             return float("nan"), np.full_like(np.asarray(grad, dtype=float), np.nan)
         return logp, grad
 
+    # The compiled-tape seam must resolve to the poisoned evaluator, not be
+    # proxied through __getattr__ to the clean underlying model.
+    def logp_and_grad_fn(self):
+        return self.logp_and_grad
+
+    def compiled_logp_and_grad(self, x):
+        return self.logp_and_grad(x)
+
 
 class FaultInjector:
     """Evaluates a fault plan inside one worker process."""

@@ -304,6 +304,13 @@ def execute_chain(
         state_capture=capture, resume_state=resume_state,
     )
     if chain_telemetry is not None:
+        tape_stats = getattr(model, "tape_stats", lambda: None)()
+        if tape_stats:
+            # Counters are per-chain deltas already: the worker builds a
+            # fresh model (and hence a fresh compiled tape) per chain task.
+            for key, value in tape_stats.items():
+                if value:
+                    chain_telemetry.count_op(f"tape_{key}", value)
         chain_telemetry.flush(final=True)
     return chain
 

@@ -74,17 +74,18 @@ class Ode(BayesianModel):
         theta = ops.concat(
             [p["CL"], p["V"], p["MTT"], p["CIRC0"], p["GAMMA"], p["EMAX"]]
         )
-        circ0 = float(p["CIRC0"].value[0])
-        y0 = self._system.initial_state(self.dose, circ0)
         # The cell compartments start at steady state (= CIRC0), so the
         # initial state depends on theta: dy0/dCIRC0 = 1 for states 1..5.
+        # y0 is passed as a callable of theta so a compiled-tape replay
+        # recomputes it for the current draw instead of replaying a stale
+        # constant.
         s0 = np.zeros((self._system.N_STATE, self._system.N_THETA))
         s0[1:6, 3] = 1.0
         solution = ode_solution_op(
             self._system.rhs,
             self._system.jac_y,
             self._system.jac_theta,
-            y0,
+            self._y0_from_theta,
             self._t_grid,
             theta,
             steps_per_interval=self.steps_per_interval,
@@ -93,6 +94,9 @@ class Ode(BayesianModel):
         drug_pred = ops.clip_min(solution[1:, 0], 1e-6)
         neut_pred = ops.clip_min(solution[1:, 5], 1e-6)
         return drug_pred, neut_pred
+
+    def _y0_from_theta(self, theta: np.ndarray) -> np.ndarray:
+        return self._system.initial_state(self.dose, float(theta[3]))
 
     def log_joint(self, p: Dict[str, Var]) -> Var:
         drug_pred, neut_pred = self._predict(p)

@@ -16,6 +16,7 @@ from typing import Callable, Tuple
 
 import numpy as np
 
+from repro.autodiff import ops
 from repro.autodiff.tape import Var
 
 # f(t, y, theta) -> dy/dt
@@ -126,11 +127,33 @@ def rk4_solve_with_sensitivities(
     return out_y, out_s
 
 
+def _ode_solution_fwd(v, static, out=None):
+    rhs, jac_y, jac_theta, y0_spec, t_eval, steps_per_interval, s0 = static
+    theta = v[0]
+    # The initial state may depend on theta (steady-state compartments), so
+    # it must be recomputed on every evaluation — a baked-in array would be
+    # stale on compiled-tape replay.
+    y0 = y0_spec(theta) if callable(y0_spec) else y0_spec
+    solution, sens = rk4_solve_with_sensitivities(
+        rhs, jac_y, jac_theta, y0, t_eval, theta,
+        steps_per_interval=steps_per_interval, s0=s0,
+    )
+    return solution, sens
+
+
+def _ode_solution_bwd(g, v, value, aux, static):
+    # g has shape (n_times, n_state); aux = sens (n_times, n_state, n_theta).
+    return (np.einsum("ts,tsp->p", g, aux),)
+
+
+ops.register_kernel("ode_solution", _ode_solution_fwd, _ode_solution_bwd)
+
+
 def ode_solution_op(
     rhs: RHS,
     jac_y: Jacobian,
     jac_theta: Jacobian,
-    y0: np.ndarray,
+    y0,
     t_eval: np.ndarray,
     theta_var: Var,
     steps_per_interval: int = 4,
@@ -139,19 +162,17 @@ def ode_solution_op(
     """Differentiable ODE solution as one autodiff node.
 
     Forward: RK4 with sensitivities. Backward: contract the upstream adjoint
-    with the per-time-point sensitivity matrices. ``s0`` is dy0/dtheta when
-    the initial state depends on the parameters.
+    with the per-time-point sensitivity matrices. ``y0`` is either a constant
+    initial-state array or a callable ``theta -> y0`` when the initial state
+    depends on the parameters; ``s0`` is dy0/dtheta in that case. Registered
+    as a kernel so compiled tapes replay the solver exactly.
     """
-    solution, sens = rk4_solve_with_sensitivities(
-        rhs, jac_y, jac_theta, y0, t_eval, theta_var.value,
-        steps_per_interval=steps_per_interval, s0=s0,
+    return ops.apply_kernel(
+        "ode_solution",
+        (theta_var,),
+        static=(rhs, jac_y, jac_theta, y0, t_eval, steps_per_interval, s0),
+        tag="ode_solution",
     )
-
-    def backward(g: np.ndarray):
-        # g has shape (n_times, n_state); sens (n_times, n_state, n_theta).
-        return (np.einsum("ts,tsp->p", g, sens),)
-
-    return Var(solution, (theta_var,), backward)
 
 
 # ---------------------------------------------------------------------------

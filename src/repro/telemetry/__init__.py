@@ -46,6 +46,7 @@ from repro.telemetry.instrument import (
     ChainTelemetry,
     SamplerInstrument,
     TelemetrySnapshot,
+    observe_tape_stats,
 )
 from repro.telemetry.metrics import (
     Counter,
@@ -127,6 +128,7 @@ __all__ = [
     "get_registry",
     "get_tracer",
     "log_buckets",
+    "observe_tape_stats",
     "read_jsonl",
     "read_snapshot",
     "render_prometheus",

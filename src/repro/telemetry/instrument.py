@@ -53,6 +53,11 @@ MONITOR_RHAT = "repro_monitor_rhat"
 MONITOR_CHECKS = "repro_monitor_checks_total"
 MONITOR_CONVERGED_KEPT = "repro_monitor_converged_kept"
 
+TAPE_RECORDS = "repro_tape_records_total"
+TAPE_REPLAYS = "repro_tape_replays_total"
+TAPE_FALLBACKS = "repro_tape_fallbacks_total"
+TAPE_REPLAY_SECONDS = "repro_tape_replay_seconds_total"
+
 GATEWAY_REQUESTS = "repro_gateway_requests_total"
 GATEWAY_REQUEST_SECONDS = "repro_gateway_request_seconds"
 GATEWAY_UNAUTHORIZED = "repro_gateway_unauthorized_total"
@@ -86,6 +91,10 @@ _HELP = {
     MONITOR_RHAT: "Latest online max R-hat per job",
     MONITOR_CHECKS: "Online R-hat checkpoint evaluations",
     MONITOR_CONVERGED_KEPT: "Kept iteration at which the monitor converged",
+    TAPE_RECORDS: "Compiled-tape graph recordings (cache misses)",
+    TAPE_REPLAYS: "Compiled-tape replays (cache hits)",
+    TAPE_FALLBACKS: "Gradient evaluations interpreted after tape fallback",
+    TAPE_REPLAY_SECONDS: "Cumulative wall time spent in tape replays",
     GATEWAY_REQUESTS: "HTTP requests served by the gateway",
     GATEWAY_REQUEST_SECONDS: "Gateway HTTP request latency",
     GATEWAY_UNAUTHORIZED: "Requests rejected by bearer-token auth",
@@ -299,6 +308,40 @@ class ChainTelemetry:
         self._emit(payload)
 
 
+# -- compiled-tape counters ----------------------------------------------------
+
+
+#: ops-payload key -> metric name for the compiled-tape counters a model's
+#: ``tape_stats()`` exposes (``repro.autodiff.compile.CompiledFunction``).
+_TAPE_METRICS = {
+    "tape_records": TAPE_RECORDS,
+    "tape_replays": TAPE_REPLAYS,
+    "tape_fallbacks": TAPE_FALLBACKS,
+    "tape_replay_seconds": TAPE_REPLAY_SECONDS,
+}
+
+
+def observe_tape_stats(
+    registry: MetricsRegistry,
+    deltas: Mapping,
+    labels: Optional[Mapping] = None,
+) -> None:
+    """Add compiled-tape counter deltas to ``registry``.
+
+    ``deltas`` may be any mapping containing (a subset of) the
+    ``tape_records`` / ``tape_replays`` / ``tape_fallbacks`` /
+    ``tape_replay_seconds`` keys — a worker's ops payload or an in-process
+    before/after difference of ``model.tape_stats()``.
+    """
+    labels = dict(labels or {})
+    for key, metric in _TAPE_METRICS.items():
+        amount = deltas.get(key, 0)
+        if amount:
+            registry.counter(metric, labels, help=_HELP[metric]).inc(
+                float(amount)
+            )
+
+
 # -- parent-side merging -------------------------------------------------------
 
 
@@ -371,6 +414,7 @@ class ChainMetricsMerger:
                 SERVE_CHAIN_SECONDS, labels, buckets=CHAIN_SECONDS_BUCKETS,
                 help=_HELP[SERVE_CHAIN_SECONDS],
             ).observe(float(seconds))
+        observe_tape_stats(registry, ops, labels=labels)
 
     def discard_job(self, job_id: str) -> None:
         """Drop a finished job's watermarks (the counters stay)."""

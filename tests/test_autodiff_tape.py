@@ -21,6 +21,24 @@ class TestVarBasics:
         c = constant(np.ones(2))
         assert not c.requires_grad
 
+    def test_constant_detaches_differentiable_var(self):
+        # Regression: constant() used to return a requires_grad Var
+        # unchanged, silently keeping the graph connection alive.
+        x = var(np.array([1.0, 2.0]))
+        y = x * 3.0
+        c = constant(y)
+        assert not c.requires_grad
+        assert c.backward_fn is None
+        assert np.array_equal(c.value, y.value)
+        out = ops.sum(x * c)
+        out.backward()
+        # No gradient flows through the detached branch.
+        assert np.allclose(x.grad, c.value)
+
+    def test_constant_passes_plain_constant_through(self):
+        c = constant(np.ones(3))
+        assert constant(c) is c
+
     def test_len_ndim_size(self):
         v = var(np.zeros((2, 3)))
         assert v.ndim == 2

@@ -1,0 +1,148 @@
+"""Statistical exactness: NUTS must recover closed-form conjugate posteriors.
+
+The bit-identity battery proves compiled tapes equal interpretation; these
+tests prove the whole stack — autodiff, compiled replay, transforms, NUTS —
+equals *math*. Two conjugate setups with known posteriors:
+
+* normal–normal: known-variance Gaussian likelihood, Gaussian prior on the
+  mean, posterior N(mu_n, sigma_n^2) in closed form;
+* beta–binomial: Bernoulli trials with a Beta prior, posterior
+  Beta(alpha + k, beta + n - k).
+
+Posterior means and standard deviations must match the analytic values
+within Monte-Carlo-standard-error-scaled tolerances (draws estimate a mean
+to ~sd/sqrt(ESS)). Long chains make the MCSE small, so these run nightly
+(``slow`` marker), keeping tier-1 fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.diagnostics.ess import effective_sample_size
+from repro.inference.chain import run_chains
+from repro.inference.nuts import NUTS
+from repro.models import BayesianModel, ParameterSpec
+from repro.models import distributions as dist
+from repro.models.transforms import Interval
+
+pytestmark = pytest.mark.slow
+
+N_ITERATIONS = 4000
+N_CHAINS = 4
+SEED = 20260806
+
+
+class NormalNormal(BayesianModel):
+    """y_i ~ N(mu, sigma^2) with sigma known; mu ~ N(mu0, tau0^2)."""
+
+    name = "normal_normal"
+    mu0, tau0, sigma = 1.5, 2.0, 1.2
+
+    def __init__(self) -> None:
+        super().__init__()
+        rng = np.random.default_rng(42)
+        self.add_data(y=rng.normal(3.0, self.sigma, size=25))
+
+    @property
+    def params(self):
+        return [ParameterSpec("mu", 1, init=0.0)]
+
+    def log_joint(self, p):
+        return dist.normal_lpdf(
+            self.data("y"), p["mu"], self.sigma
+        ) + dist.normal_lpdf(p["mu"], self.mu0, self.tau0)
+
+    def analytic_posterior(self):
+        y = self.data("y")
+        precision = 1.0 / self.tau0 ** 2 + y.size / self.sigma ** 2
+        variance = 1.0 / precision
+        mean = variance * (
+            self.mu0 / self.tau0 ** 2 + y.sum() / self.sigma ** 2
+        )
+        return mean, np.sqrt(variance)
+
+
+class BetaBinomial(BayesianModel):
+    """k successes in n Bernoulli trials; p ~ Beta(alpha0, beta0)."""
+
+    name = "beta_binomial"
+    alpha0, beta0 = 2.0, 3.0
+
+    def __init__(self) -> None:
+        super().__init__()
+        rng = np.random.default_rng(7)
+        self.add_data(y=(rng.uniform(size=40) < 0.35).astype(float))
+
+    @property
+    def params(self):
+        return [ParameterSpec("p", 1, transform=Interval(0.0, 1.0), init=0.5)]
+
+    def log_joint(self, p):
+        y = self.data("y")
+        total = dist.beta_lpdf(p["p"], self.alpha0, self.beta0)
+        # Bernoulli likelihood written directly against the probability.
+        from repro.autodiff import ops
+
+        k = float(y.sum())
+        n = float(y.size)
+        return total + ops.sum(
+            k * ops.log(p["p"]) + (n - k) * ops.log(1.0 - p["p"])
+        )
+
+    def analytic_posterior(self):
+        y = self.data("y")
+        a = self.alpha0 + y.sum()
+        b = self.beta0 + y.size - y.sum()
+        mean = a / (a + b)
+        sd = np.sqrt(a * b / ((a + b) ** 2 * (a + b + 1.0)))
+        return mean, sd
+
+
+def _constrained_draws(model, result):
+    kept = []
+    for chain in result.chains:
+        half = chain.samples[chain.samples.shape[0] // 2:]
+        kept.append(
+            np.array([
+                model.constrain(x)[model.params[0].name][0] for x in half
+            ])
+        )
+    return np.stack(kept)  # (chains, draws)
+
+
+@pytest.mark.parametrize("model_cls", [NormalNormal, BetaBinomial])
+def test_nuts_recovers_conjugate_posterior(model_cls):
+    model = model_cls()
+    true_mean, true_sd = model.analytic_posterior()
+
+    result = run_chains(
+        model, NUTS(), n_iterations=N_ITERATIONS, n_chains=N_CHAINS,
+        seed=SEED,
+    )
+    draws = _constrained_draws(model, result)
+    flat = draws.reshape(-1)
+
+    ess = max(
+        sum(effective_sample_size(draws[c]) for c in range(draws.shape[0])),
+        10.0,
+    )
+    mcse_mean = true_sd / np.sqrt(ess)
+    # SE of the sd estimate for an approximately normal posterior.
+    mcse_sd = true_sd * np.sqrt(0.5 / ess)
+
+    sample_mean = flat.mean()
+    sample_sd = flat.std(ddof=1)
+
+    assert abs(sample_mean - true_mean) < 4.0 * mcse_mean, (
+        f"{model.name}: posterior mean {sample_mean:.5f} vs analytic "
+        f"{true_mean:.5f} (ESS={ess:.0f}, 4*MCSE={4 * mcse_mean:.5f})"
+    )
+    assert abs(sample_sd - true_sd) < 5.0 * mcse_sd, (
+        f"{model.name}: posterior sd {sample_sd:.5f} vs analytic "
+        f"{true_sd:.5f} (ESS={ess:.0f}, 5*MCSE={5 * mcse_sd:.5f})"
+    )
+
+    # The sampler must have run on the compiled path for these checks to
+    # cover it.
+    stats = model.tape_stats()
+    assert stats is not None and stats["replays"] > 0
