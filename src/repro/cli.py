@@ -93,6 +93,11 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--scale", type=float, default=0.5)
     submit.add_argument("--engine", choices=("nuts", "hmc", "mh"),
                         default="nuts")
+    submit.add_argument("--mode", choices=("fast", "checked", "exact"),
+                        default="exact",
+                        help="serving tier: amortized surrogate (fast), "
+                             "PSIS-gated surrogate with escalation to "
+                             "exact MCMC (checked), or full MCMC (exact)")
     submit.add_argument("--priority", type=int, default=0,
                         help="higher runs first")
     submit.add_argument("--no-elide", action="store_true",
@@ -123,6 +128,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-placement", action="store_true",
                        help="skip profiling and predictor-driven placement")
     serve.add_argument("--calibration-iterations", type=int, default=30)
+    serve.add_argument("--guide-dir", default=None,
+                       help="directory of persisted amortized guides "
+                            "(default: <queue-dir>/guides)")
     serve.add_argument("--max-attempts", type=int, default=3,
                        help="execution attempts per job before it is "
                             "quarantined as failed")
@@ -284,12 +292,21 @@ def _queue_file(queue_dir: str):
     return Path(queue_dir) / "queue.jsonl"
 
 
+def _guide_store(args, queue_path):
+    """Directory-backed guide cache for the amortized serving tiers."""
+    from repro.amortize import GuideStore
+
+    directory = args.guide_dir or str(queue_path.parent / "guides")
+    return GuideStore(directory=directory)
+
+
 def cmd_submit(args) -> int:
     from repro.serve import FileJobQueue, JobSpec
 
     spec = JobSpec(
         workload=args.workload,
         engine=args.engine,
+        mode=args.mode,
         n_iterations=args.iterations,
         n_warmup=args.warmup,
         n_chains=args.chains,
@@ -392,6 +409,7 @@ def cmd_serve(args) -> int:
         placement=not args.no_placement,
         calibration_iterations=args.calibration_iterations,
         retry_policy=RetryPolicy(max_attempts=args.max_attempts),
+        guide_store=_guide_store(args, path),
         on_job_start=on_job_start,
         on_job_finish=on_job_finish,
         metrics_file=args.metrics_file,
@@ -470,6 +488,7 @@ def _serve_http(args) -> int:
         placement=not args.no_placement,
         calibration_iterations=args.calibration_iterations,
         retry_policy=RetryPolicy(max_attempts=args.max_attempts),
+        guide_store=_guide_store(args, path),
         metrics_file=args.metrics_file,
     )
     with server, Gateway(

@@ -11,8 +11,9 @@ to failed jobs — the client takes a :class:`~repro.serve.server.
 RetryPolicy` and calls :meth:`~repro.serve.server.RetryPolicy.backoff`
 with kind ``"transient"``. Definitive rejections (4xx) are "poison" in the
 server's taxonomy: retrying cannot change a deterministic answer, so they
-raise immediately as typed exceptions (:class:`UnauthorizedError`,
-:class:`RateLimitedError`, :class:`GatewayError`).
+raise immediately as typed exceptions (:class:`InvalidRequestError`,
+:class:`UnauthorizedError`, :class:`RateLimitedError`,
+:class:`GatewayError`).
 
 Quick start::
 
@@ -54,6 +55,22 @@ class UnauthorizedError(GatewayError):
     """401 — missing or invalid bearer token."""
 
 
+class InvalidRequestError(GatewayError):
+    """400 — the gateway rejected the request body.
+
+    Carries the structured error the server attaches: ``code`` is a stable
+    slug (``unknown_field``, ``invalid_mode``, ``invalid_spec``, ...) and
+    ``detail`` names the offending fields/values and the accepted ones —
+    enough for a caller to branch on (or to fix a typo) without string
+    matching the message.
+    """
+
+    def __init__(self, status, message, payload=None):
+        super().__init__(status, message, payload)
+        self.code: Optional[str] = self.payload.get("code")
+        self.detail: Dict = self.payload.get("detail") or {}
+
+
 class RateLimitedError(GatewayError):
     """429 — the rate limiter or admission control shed this request."""
 
@@ -67,6 +84,8 @@ class GatewayUnavailable(GatewayError):
 
 
 def _error_for(status: int, message: str, payload, retry_after) -> GatewayError:
+    if status == 400:
+        return InvalidRequestError(status, message, payload)
     if status == 401:
         return UnauthorizedError(status, message, payload)
     if status == 429:

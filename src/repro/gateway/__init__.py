@@ -33,6 +33,7 @@ from repro.gateway.routes import (
     GatewayRequestHandler,
     job_view,
     parse_job_spec,
+    provenance_view,
     result_view,
 )
 from repro.gateway.sse import EventBroker, JobEvent, parse_sse
@@ -49,6 +50,7 @@ __all__ = [
     "job_view",
     "parse_job_spec",
     "parse_sse",
+    "provenance_view",
     "result_view",
     "token_label",
 ]

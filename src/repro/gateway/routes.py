@@ -34,6 +34,7 @@ from http.server import BaseHTTPRequestHandler
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from repro.amortize.policy import DEFAULT_MODE, MODES
 from repro.diagnostics.summary import summarize
 from repro.gateway.sse import KEEPALIVE, json_safe
 from repro.serve.job import Job, JobSpec
@@ -53,18 +54,36 @@ MAX_BODY_BYTES = 64 * 1024
 
 
 class ApiError(Exception):
-    """A structured HTTP error a view raises and the handler serializes."""
+    """A structured HTTP error a view raises and the handler serializes.
+
+    The response body is ``{"error": message}`` plus, when set, a machine-
+    readable ``"code"`` (a stable slug clients can branch on, e.g.
+    ``unknown_field`` / ``invalid_mode``) and a ``"detail"`` object with
+    the specifics (the offending fields, the accepted values).
+    """
 
     def __init__(
         self,
         status: int,
         message: str,
         retry_after: Optional[float] = None,
+        code: Optional[str] = None,
+        detail: Optional[Dict] = None,
     ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
         self.retry_after = retry_after
+        self.code = code
+        self.detail = detail
+
+    def body(self) -> Dict:
+        payload: Dict = {"error": self.message}
+        if self.code is not None:
+            payload["code"] = self.code
+        if self.detail is not None:
+            payload["detail"] = self.detail
+        return payload
 
 
 # -- JSON views ----------------------------------------------------------------
@@ -98,6 +117,13 @@ def elision_view(elision) -> Optional[Dict]:
     }
 
 
+def provenance_view(provenance) -> Optional[Dict]:
+    """The provenance block: which tier produced the draws and why."""
+    if provenance is None:
+        return None
+    return provenance.to_dict()
+
+
 def job_view(job: Job, rhat_trace=None) -> Dict:
     """The status document for one job.
 
@@ -112,6 +138,7 @@ def job_view(job: Job, rhat_trace=None) -> Dict:
         "terminal": job.state.terminal,
         "workload": job.spec.workload,
         "engine": job.spec.engine,
+        "mode": job.spec.mode,
         "priority": job.spec.priority,
         "attempts": job.attempts,
         "deduped": job.deduped,
@@ -119,6 +146,7 @@ def job_view(job: Job, rhat_trace=None) -> Dict:
         "error": job.error,
         "placement": placement_view(job.placement),
         "elision": elision_view(job.elision),
+        "provenance": provenance_view(job.provenance),
         "rhat": (
             {"kept": trace[-1][0], "value": trace[-1][1]} if trace else None
         ),
@@ -173,6 +201,7 @@ def result_view(job: Job, include_draws: bool = False) -> Dict:
         "summary": summary,
         "elision": elision_view(job.elision),
         "placement": placement_view(job.placement),
+        "provenance": provenance_view(job.provenance),
     }
     if include_draws:
         # (n_chains, n_kept, dim) kept draws as nested lists; the client
@@ -183,13 +212,41 @@ def result_view(job: Job, include_draws: bool = False) -> Dict:
 
 
 def parse_job_spec(payload) -> JobSpec:
-    """A validated :class:`JobSpec` from a request body, or 400."""
+    """A validated :class:`JobSpec` from a request body, or 400.
+
+    Unknown top-level fields and unknown serving modes get their own error
+    codes (``unknown_field`` / ``invalid_mode``) with the offending values
+    and the accepted ones in ``detail`` — a misspelled field must never be
+    silently dropped (it would change which result key the job dedups
+    against), and a client probing for tiers the server predates deserves
+    a machine-readable answer.
+    """
     if not isinstance(payload, dict):
-        raise ApiError(400, "request body must be a JSON object of JobSpec fields")
+        raise ApiError(
+            400, "request body must be a JSON object of JobSpec fields",
+            code="invalid_body",
+        )
+    known = sorted(JobSpec.__dataclass_fields__)
+    unknown = sorted(set(payload) - set(known))
+    if unknown:
+        raise ApiError(
+            400,
+            f"unknown job spec field(s): {', '.join(unknown)}",
+            code="unknown_field",
+            detail={"fields": unknown, "known_fields": known},
+        )
+    mode = payload.get("mode", DEFAULT_MODE)
+    if mode not in MODES:
+        raise ApiError(
+            400,
+            f"unknown serving mode {mode!r}",
+            code="invalid_mode",
+            detail={"mode": mode, "modes": list(MODES)},
+        )
     try:
         return JobSpec.from_dict(payload)
     except (KeyError, TypeError, ValueError) as exc:
-        raise ApiError(400, f"invalid job spec: {exc}")
+        raise ApiError(400, f"invalid job spec: {exc}", code="invalid_spec")
 
 
 def _truthy(values) -> bool:
@@ -283,8 +340,7 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
                 handler(split)
             except ApiError as exc:
                 self._send_json(
-                    exc.status, {"error": exc.message},
-                    retry_after=exc.retry_after,
+                    exc.status, exc.body(), retry_after=exc.retry_after
                 )
             except (BrokenPipeError, ConnectionResetError):
                 self._status = 499  # client went away mid-response

@@ -41,6 +41,21 @@ class AdviResult:
         """i.i.d. draws from the approximation (unconstrained space)."""
         return self.mu + self.sigma * rng.normal(size=(n, self.mu.size))
 
+    def log_density(self, x: np.ndarray) -> np.ndarray:
+        """log q(x) per row of ``x`` — the diagonal-Gaussian density.
+
+        The importance-ratio denominator for the PSIS tier gate
+        (:mod:`repro.amortize.psis`): exact, vectorized, and cheap
+        relative to the true-logp numerator.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        z = (x - self.mu) / self.sigma
+        return (
+            -0.5 * np.sum(z * z, axis=1)
+            - float(np.sum(self.log_sigma))
+            - 0.5 * self.mu.size * np.log(2.0 * np.pi)
+        )
+
     def to_sampling_result(
         self, model, n_draws: int = 1000, rng: np.random.Generator | None = None
     ) -> SamplingResult:

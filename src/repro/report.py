@@ -20,6 +20,11 @@ from repro.core.pipeline import SuiteRunner, evaluate_overall
 from repro.suite import table_one, workload_names
 from repro.telemetry import TelemetrySnapshot, get_registry, get_tracer
 from repro.telemetry.instrument import (
+    AMORTIZE_ESCALATIONS,
+    AMORTIZE_GUIDE_TRAIN_SECONDS,
+    AMORTIZE_GUIDE_TRAINS,
+    AMORTIZE_KHAT,
+    AMORTIZE_SERVED,
     SAMPLER_DIVERGENCES,
     SAMPLER_ITERATIONS,
     SAMPLER_WORK,
@@ -141,6 +146,69 @@ def _telemetry_section(snapshot: TelemetrySnapshot) -> List[str]:
     return lines
 
 
+def _amortize_section(snapshot: TelemetrySnapshot) -> List[str]:
+    """Amortized serving provenance, when any tiered traffic was served.
+
+    Answers the operator question the provenance block answers per job,
+    but in aggregate: how much traffic each tier absorbed, how often the
+    PSIS gate escalated, and what guide training cost. Silent when the
+    run never touched the amortized tiers (the common offline case).
+    """
+    if snapshot.empty:
+        return []
+    served: dict = {}
+    escalations: dict = {}
+    trains = train_seconds = 0.0
+    for entry in snapshot.metrics.get("counters", []):
+        labels = dict(tuple(pair) for pair in entry["labels"])
+        if entry["name"] == AMORTIZE_SERVED:
+            tier = labels.get("tier", "?")
+            served[tier] = served.get(tier, 0.0) + entry["value"]
+        elif entry["name"] == AMORTIZE_ESCALATIONS:
+            workload = labels.get("workload", "?")
+            escalations[workload] = (
+                escalations.get(workload, 0.0) + entry["value"]
+            )
+        elif entry["name"] == AMORTIZE_GUIDE_TRAINS:
+            trains += entry["value"]
+        elif entry["name"] == AMORTIZE_GUIDE_TRAIN_SECONDS:
+            train_seconds += entry["value"]
+    k_hats: dict = {}
+    for entry in snapshot.metrics.get("gauges", []):
+        if entry["name"] == AMORTIZE_KHAT:
+            labels = dict(tuple(pair) for pair in entry["labels"])
+            k_hats[labels.get("workload", "?")] = entry["value"]
+    if not served and not escalations and not trains:
+        return []
+
+    lines = ["## Amortized serving (provenance)", ""]
+    total_escalated = sum(escalations.values())
+    lines.append(
+        f"Tiered traffic: "
+        + ", ".join(
+            f"{count:.0f} `{tier}`" for tier, count in sorted(served.items())
+        )
+        + f"; {total_escalated:.0f} escalation(s) to exact; "
+        f"{trains:.0f} guide(s) trained in {train_seconds:.2f}s."
+    )
+    lines.append("")
+    workloads = sorted(set(escalations) | set(k_hats))
+    if workloads:
+        rows = [
+            [
+                workload,
+                f"{k_hats[workload]:.3f}" if workload in k_hats else "-",
+                f"{escalations.get(workload, 0.0):.0f}",
+            ]
+            for workload in workloads
+        ]
+        lines.extend([
+            _table(["workload", "latest k̂", "escalations"], rows),
+            "",
+        ])
+    return lines
+
+
 def _speedup_table(runner: SuiteRunner) -> tuple[str, float]:
     results = evaluate_overall(runner, detector=ConvergenceDetector())
     rows = []
@@ -209,6 +277,7 @@ def generate_report(
         "(paper: 5.8x).",
         "",
         *_telemetry_section(telemetry_snapshot),
+        *_amortize_section(telemetry_snapshot),
     ]
     return "\n".join(sections)
 

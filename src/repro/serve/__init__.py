@@ -16,7 +16,8 @@ schedulable, interruptible, resumable job service:
 * :mod:`repro.serve.store` — the deduplicating result store;
 * :mod:`repro.serve.server` — :class:`InferenceServer`, the orchestrator,
   with a :class:`RetryPolicy` that distinguishes transient worker loss from
-  deterministic poison failures;
+  deterministic poison failures, and the ``fast | checked | exact``
+  amortized serving tiers backed by :mod:`repro.amortize`;
 * :mod:`repro.serve.filequeue` — the durable JSONL submit queue behind the
   CLI, with crash recovery of interrupted jobs;
 * :mod:`repro.serve.faults` — scripted fault injection (worker kills, NaN
@@ -39,7 +40,7 @@ from repro.serve.job import ElisionSummary, Job, JobSpec, JobState, Placement
 from repro.serve.monitor import ConvergenceMonitor
 from repro.serve.queue import AdmissionError, JobQueue
 from repro.serve.server import InferenceServer, RetryPolicy, classify_failure
-from repro.serve.store import ResultStore, StoredResult
+from repro.serve.store import ResultStore, StoredResult, stored_provenance
 from repro.serve.workers import (
     ChainExecutionError,
     ChainTask,
@@ -76,6 +77,7 @@ __all__ = [
     "chain_tasks",
     "classify_failure",
     "execute_chain",
+    "stored_provenance",
     "parallel_run_chains",
     "truncate_chain",
 ]

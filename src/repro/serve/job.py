@@ -18,10 +18,11 @@ from __future__ import annotations
 import hashlib
 import json
 import uuid
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from enum import Enum
 from typing import Any, Dict, List, Optional
 
+from repro.amortize.policy import DEFAULT_MODE, Provenance, validate_mode
 from repro.inference.engines import build_engine, engine_names
 from repro.inference.results import SamplingResult
 
@@ -62,6 +63,10 @@ class JobSpec:
 
     workload: str
     engine: str = "nuts"
+    #: Serving tier: ``fast`` (amortized surrogate, unconditional),
+    #: ``checked`` (surrogate iff PSIS k̂ passes, else escalate), or
+    #: ``exact`` (full MCMC — the default and the pre-amortization path).
+    mode: str = DEFAULT_MODE
     n_iterations: int = 400
     n_warmup: Optional[int] = None
     n_chains: int = 4
@@ -99,6 +104,7 @@ class JobSpec:
             )
         if self.check_interval < 1:
             raise ValueError("check_interval must be >= 1")
+        validate_mode(self.mode)
 
     @property
     def resolved_warmup(self) -> int:
@@ -116,6 +122,15 @@ class JobSpec:
     def build_sampler(self):
         return build_engine(self.engine, self.engine_options)
 
+    def with_mode(self, mode: str) -> "JobSpec":
+        """This spec at a different serving mode (same sampling identity).
+
+        The escalation and dedup-inheritance paths use the ``exact`` twin:
+        an escalated ``checked`` job produces draws bit-identical to what
+        ``with_mode("exact")`` would have produced directly.
+        """
+        return self if mode == self.mode else replace(self, mode=mode)
+
     # -- identity --------------------------------------------------------------
 
     def key(self) -> str:
@@ -124,6 +139,15 @@ class JobSpec:
         ``priority`` and ``checkpoint_interval`` affect scheduling and
         fault-tolerance, never the draws, so they are excluded — a repeat
         submission at a different priority still dedupes.
+
+        ``mode`` IS part of the key: a ``fast`` submission is answered by
+        an amortized surrogate, so its stored result must never satisfy a
+        later ``exact`` submission of the same sampling spec (and vice
+        versa — the tiers produce different draws by design). The server
+        still lets a stored *exact* result answer an amortized request,
+        but that inheritance is an explicit upgrade in
+        :meth:`~repro.serve.server.InferenceServer.submit`, not a key
+        collision.
         """
         payload = asdict(self)
         payload["n_warmup"] = self.resolved_warmup
@@ -189,6 +213,9 @@ class Job:
         self.result: Optional[SamplingResult] = None
         self.placement: Optional[Placement] = None
         self.elision: Optional[ElisionSummary] = None
+        #: Which tier produced the result and why (set on every answer —
+        #: surrogate, escalated, deduped, or plain exact).
+        self.provenance: Optional[Provenance] = None
         self.error: Optional[str] = None
         #: Simulated seconds on the chosen/baseline platform (filled by the
         #: server when a scheduler is available).

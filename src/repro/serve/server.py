@@ -41,6 +41,17 @@ import traceback
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
+import numpy as np
+
+from repro.amortize.guides import GuideStore
+from repro.amortize.policy import (
+    EscalationPolicy,
+    Provenance,
+    exact_provenance,
+    surrogate_result,
+    surrogate_rng,
+)
+from repro.amortize.psis import psis, surrogate_log_ratios
 from repro.arch.machine import MachineModel
 from repro.arch.platforms import SKYLAKE
 from repro.arch.profile import WorkloadProfile, profile_workload
@@ -51,7 +62,7 @@ from repro.serve.checkpoint import CheckpointStore
 from repro.serve.job import ElisionSummary, Job, JobSpec, JobState, Placement
 from repro.serve.monitor import ConvergenceMonitor
 from repro.serve.queue import AdmissionError, JobQueue
-from repro.serve.store import ResultStore, StoredResult
+from repro.serve.store import ResultStore, StoredResult, stored_provenance
 from repro.serve.workers import (
     ChainExecutionError,
     ChainWorkerPool,
@@ -60,6 +71,11 @@ from repro.serve.workers import (
 )
 from repro.telemetry.exposition import write_metrics_file
 from repro.telemetry.instrument import (
+    AMORTIZE_ESCALATIONS,
+    AMORTIZE_GUIDE_TRAIN_SECONDS,
+    AMORTIZE_GUIDE_TRAINS,
+    AMORTIZE_KHAT,
+    AMORTIZE_SERVED,
     SERVE_ADMISSION_REJECTIONS,
     SERVE_JOB_RETRIES,
     SERVE_JOBS,
@@ -130,6 +146,12 @@ class InferenceServer:
         #: cheap, the profile only needs the mean trajectory length.
         calibration_iterations: int = 30,
         retry_policy: Optional[RetryPolicy] = None,
+        #: Trained-guide cache for the amortized tiers. Defaults to an
+        #: in-memory store so ``fast``/``checked`` submissions always work;
+        #: pass a directory-backed store to reuse guides across restarts.
+        guide_store: Optional[GuideStore] = None,
+        #: When the checked tier trusts the surrogate (PSIS k̂ ≤ 0.7).
+        escalation_policy: Optional[EscalationPolicy] = None,
         #: Called with the job as each execution attempt starts / ends (the
         #: end callback also fires on RETRYING attempts).
         on_job_start: Optional[Callable[[Job], None]] = None,
@@ -173,6 +195,8 @@ class InferenceServer:
         self._scheduler_injected = scheduler is not None
         self._characterizer = MachineModel(SKYLAKE)
         self.retry_policy = retry_policy or RetryPolicy()
+        self.guide_store = guide_store if guide_store is not None else GuideStore()
+        self.escalation_policy = escalation_policy or EscalationPolicy()
         self.on_job_start = on_job_start
         self.on_job_finish = on_job_finish
         self.on_progress = on_progress
@@ -208,12 +232,20 @@ class InferenceServer:
             )
 
         stored = self.store.get(spec.key())
+        provenance = stored_provenance(stored) if stored is not None else None
+        if stored is None and spec.mode != "exact":
+            # Dedup inheritance: an exact answer satisfies any mode of the
+            # same sampling spec (the upgrade documented in JobSpec.key).
+            stored = self.store.get(spec.with_mode("exact").key())
+            if stored is not None:
+                provenance = Provenance(mode=spec.mode, tier="exact")
         if stored is not None:
             job = Job(spec)
             job.deduped = True
             job.result = stored.result
             job.placement = stored.placement
             job.elision = stored.elision
+            job.provenance = provenance
             job.transition(JobState.DONE)
             self.jobs[job.job_id] = job
             self._count_terminal(job)
@@ -382,6 +414,160 @@ class InferenceServer:
         )
 
     def _execute(self, job: Job) -> None:
+        """Dispatch one attempt: amortized tiers first, exact as fallback.
+
+        ``fast``/``checked`` jobs try the surrogate path; a served answer
+        ends the attempt. An escalation (or any amortized-path error) falls
+        through to the exact path in the *same* attempt — chain execution
+        never reads ``mode``, so the escalated draws are bit-identical to a
+        direct ``exact`` submission of the same sampling spec.
+        """
+        if job.spec.mode != "exact" and self._execute_amortized(job):
+            return
+        self._execute_exact(job)
+
+    def _execute_amortized(self, job: Job) -> bool:
+        """Try to answer ``job`` from its family's guide.
+
+        Returns True when the job reached a terminal state here (surrogate
+        served, or an escalation answered by a stored exact result). False
+        means run the exact path: the checked tier rejected the surrogate,
+        or the amortized path itself failed (a broken guide must degrade to
+        exact service, never to a failed job).
+        """
+        spec = job.spec
+        policy = self.escalation_policy
+        try:
+            model = self._model(spec)
+            with self.tracer.span(
+                "serve.amortize", job=job.job_id, workload=spec.workload,
+                mode=spec.mode,
+            ) as attrs:
+                record, trained = self.guide_store.get_or_train(model)
+                attrs["guide"] = record.guide_id
+                attrs["trained"] = trained
+                if trained:
+                    self.registry.counter(
+                        AMORTIZE_GUIDE_TRAINS,
+                        help=help_for(AMORTIZE_GUIDE_TRAINS),
+                    ).inc()
+                    self.registry.counter(
+                        AMORTIZE_GUIDE_TRAIN_SECONDS,
+                        help=help_for(AMORTIZE_GUIDE_TRAIN_SECONDS),
+                    ).inc(record.train_seconds)
+
+                rng = surrogate_rng(spec.seed)
+                result = surrogate_result(
+                    model, record.advi, spec.n_chains, spec.budget_kept, rng
+                )
+
+                k_hat: Optional[float] = None
+                if spec.mode == "checked":
+                    draws = np.vstack([c.samples for c in result.chains])
+                    diagnostic = psis(
+                        surrogate_log_ratios(
+                            model, record.advi, draws,
+                            max_draws=policy.psis_max_draws,
+                        )
+                    )
+                    k_hat = float(diagnostic.k_hat)
+                    attrs["k_hat"] = k_hat
+                    self.registry.gauge(
+                        AMORTIZE_KHAT, {"workload": spec.workload},
+                        help=help_for(AMORTIZE_KHAT),
+                    ).set(k_hat)
+                    if policy.should_escalate(k_hat):
+                        attrs["escalated"] = True
+                        self.registry.counter(
+                            AMORTIZE_ESCALATIONS,
+                            {"workload": spec.workload},
+                            help=help_for(AMORTIZE_ESCALATIONS),
+                        ).inc()
+                        job.provenance = Provenance(
+                            mode=spec.mode,
+                            tier="exact",
+                            k_hat=k_hat,
+                            k_hat_threshold=policy.k_hat_threshold,
+                            guide_id=record.guide_id,
+                            guide_trained=trained,
+                            escalated=True,
+                        )
+                        self._emit_tier_event(job)
+                        return self._serve_escalation_from_store(job)
+
+            # Serve the surrogate.
+            job.provenance = Provenance(
+                mode=spec.mode,
+                tier=spec.mode,
+                k_hat=k_hat,
+                k_hat_threshold=(
+                    policy.k_hat_threshold if spec.mode == "checked" else None
+                ),
+                guide_id=record.guide_id,
+                guide_trained=trained,
+                escalated=False,
+            )
+            job.result = result
+            self.registry.counter(
+                AMORTIZE_SERVED, {"tier": spec.mode},
+                help=help_for(AMORTIZE_SERVED),
+            ).inc()
+            self._emit_tier_event(job)
+            self.store.put(
+                spec.key(),
+                StoredResult(
+                    spec=spec, result=result, provenance=job.provenance
+                ),
+            )
+            job.transition(JobState.DONE)
+            return True
+        except Exception:
+            # Degrade, don't fail: whatever broke (guide training, the
+            # PSIS check, a stale pickle) the exact path still answers.
+            job.provenance = None
+            job.attempt_errors.append(
+                "amortized path failed, fell back to exact:\n"
+                + traceback.format_exc()
+            )
+            return False
+
+    def _emit_tier_event(self, job: Job) -> None:
+        """Publish the tier decision on the progress stream (SSE seam)."""
+        if self.on_progress is None or job.provenance is None:
+            return
+        self.on_progress(job, "tier", job.provenance.to_dict())
+
+    def _serve_escalation_from_store(self, job: Job) -> bool:
+        """Answer an escalated job from its exact twin's stored result.
+
+        Escalated work inherits the exact tier's dedup: if the identical
+        exact run is already stored, serve it (recording the escalated
+        provenance under the checked key so repeats dedup directly) instead
+        of sampling again. Returns False when no stored twin exists — the
+        caller then runs the exact path inline.
+        """
+        spec = job.spec
+        stored = self.store.get(spec.with_mode("exact").key())
+        if stored is None:
+            return False
+        job.deduped = True
+        job.result = stored.result
+        job.placement = stored.placement
+        job.elision = stored.elision
+        self.store.put(
+            spec.key(),
+            StoredResult(
+                spec=spec,
+                result=stored.result,
+                placement=stored.placement,
+                elision=stored.elision,
+                provenance=job.provenance,
+            ),
+        )
+        job.transition(JobState.DONE)
+        return True
+
+    def _execute_exact(self, job: Job) -> None:
         spec = job.spec
         model = self._model(spec)
 
@@ -473,6 +659,8 @@ class InferenceServer:
             job.simulated_seconds = scheduled.seconds
             job.baseline_seconds = scheduled.baseline_seconds
 
+        if job.provenance is None:
+            job.provenance = exact_provenance(spec.mode)
         with self.tracer.span("serve.store", job=job.job_id):
             self.store.put(
                 spec.key(),
@@ -481,8 +669,24 @@ class InferenceServer:
                     result=job.result,
                     placement=job.placement,
                     elision=job.elision,
+                    provenance=job.provenance,
                 ),
             )
+            if spec.mode != "exact":
+                # The draws ARE the exact answer (mode never reaches chain
+                # execution), so an escalated/fallen-back run also settles
+                # the exact twin's key — a later exact submission dedups.
+                exact_spec = spec.with_mode("exact")
+                self.store.put(
+                    exact_spec.key(),
+                    StoredResult(
+                        spec=exact_spec,
+                        result=job.result,
+                        placement=job.placement,
+                        elision=job.elision,
+                        provenance=exact_provenance(),
+                    ),
+                )
         job.transition(JobState.CONVERGED if elided else JobState.DONE)
         if self.checkpoint_dir is not None:
             # The result is stored; the partial-progress safety net served

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from repro.amortize.policy import Provenance
 from repro.inference.results import SamplingResult
 from repro.serve.job import ElisionSummary, JobSpec, Placement
 
@@ -30,7 +31,18 @@ class StoredResult:
     result: SamplingResult
     placement: Optional[Placement] = None
     elision: Optional[ElisionSummary] = None
+    #: Tier/diagnostic record of how the result was produced. Records
+    #: pickled before this field existed load without it — read through
+    #: :func:`stored_provenance` instead of the attribute.
+    provenance: Optional[Provenance] = None
     metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+def stored_provenance(record: "StoredResult") -> Optional[Provenance]:
+    """``record.provenance``, tolerating records pickled before the field
+    existed (pickle restores ``__dict__`` as-written, so the attribute may
+    simply be absent)."""
+    return getattr(record, "provenance", None)
 
 
 class ResultStore:

@@ -58,6 +58,12 @@ TAPE_REPLAYS = "repro_tape_replays_total"
 TAPE_FALLBACKS = "repro_tape_fallbacks_total"
 TAPE_REPLAY_SECONDS = "repro_tape_replay_seconds_total"
 
+AMORTIZE_SERVED = "repro_amortize_served_total"
+AMORTIZE_ESCALATIONS = "repro_amortize_escalations_total"
+AMORTIZE_GUIDE_TRAINS = "repro_amortize_guide_trains_total"
+AMORTIZE_GUIDE_TRAIN_SECONDS = "repro_amortize_guide_train_seconds_total"
+AMORTIZE_KHAT = "repro_amortize_khat"
+
 GATEWAY_REQUESTS = "repro_gateway_requests_total"
 GATEWAY_REQUEST_SECONDS = "repro_gateway_request_seconds"
 GATEWAY_UNAUTHORIZED = "repro_gateway_unauthorized_total"
@@ -95,6 +101,11 @@ _HELP = {
     TAPE_REPLAYS: "Compiled-tape replays (cache hits)",
     TAPE_FALLBACKS: "Gradient evaluations interpreted after tape fallback",
     TAPE_REPLAY_SECONDS: "Cumulative wall time spent in tape replays",
+    AMORTIZE_SERVED: "Requests answered by an amortized serving tier",
+    AMORTIZE_ESCALATIONS: "Checked-tier requests escalated to exact inference",
+    AMORTIZE_GUIDE_TRAINS: "Amortized guides trained (cache misses)",
+    AMORTIZE_GUIDE_TRAIN_SECONDS: "Wall seconds spent training guides",
+    AMORTIZE_KHAT: "Latest PSIS tail-shape estimate per workload",
     GATEWAY_REQUESTS: "HTTP requests served by the gateway",
     GATEWAY_REQUEST_SECONDS: "Gateway HTTP request latency",
     GATEWAY_UNAUTHORIZED: "Requests rejected by bearer-token auth",

@@ -207,13 +207,54 @@ class TestViews:
         with pytest.raises(ApiError, match="failed"):
             result_view(job)  # terminal but no result
 
+    def test_job_and_result_views_carry_provenance(self):
+        from repro.amortize import Provenance
+
+        job = Job(SPEC)
+        assert job_view(job)["provenance"] is None
+        assert job_view(job)["mode"] == "exact"
+        job.provenance = Provenance(
+            mode="checked", tier="exact", k_hat=1.2, k_hat_threshold=0.7,
+            guide_id="abc123", escalated=True,
+        )
+        view = job_view(job)["provenance"]
+        assert view["tier"] == "exact" and view["escalated"]
+        assert view["k_hat"] == 1.2 and view["guide_id"] == "abc123"
+
     def test_parse_job_spec_rejects_bad_bodies(self):
         assert parse_job_spec(SPEC.to_dict()) == SPEC
         with pytest.raises(ApiError) as info:
             parse_job_spec(["not", "a", "dict"])
         assert info.value.status == 400
+        assert info.value.code == "invalid_body"
         with pytest.raises(ApiError, match="invalid job spec"):
-            parse_job_spec({"workload": "votes", "no_such_field": 1})
+            parse_job_spec({"workload": "votes", "n_iterations": 1})
+
+    def test_parse_job_spec_unknown_field_is_structured(self):
+        with pytest.raises(ApiError) as info:
+            parse_job_spec({"workload": "votes", "no_such_field": 1,
+                            "nor_this": 2})
+        err = info.value
+        assert err.status == 400
+        assert err.code == "unknown_field"
+        assert err.detail["fields"] == ["no_such_field", "nor_this"]
+        assert "workload" in err.detail["known_fields"]
+        body = err.body()
+        assert body["code"] == "unknown_field"
+        assert body["detail"]["fields"] == ["no_such_field", "nor_this"]
+
+    def test_parse_job_spec_unknown_mode_is_structured(self):
+        with pytest.raises(ApiError) as info:
+            parse_job_spec({"workload": "votes", "mode": "turbo"})
+        err = info.value
+        assert err.status == 400
+        assert err.code == "invalid_mode"
+        assert err.detail == {
+            "mode": "turbo", "modes": ["fast", "checked", "exact"]
+        }
+
+    def test_api_error_body_omits_unset_extras(self):
+        assert ApiError(404, "gone").body() == {"error": "gone"}
 
 
 class _FlakyHandler(BaseHTTPRequestHandler):
@@ -239,6 +280,14 @@ class _FlakyHandler(BaseHTTPRequestHandler):
             body = json.dumps({"error": "slow down"}).encode()
             self.send_response(429)
             self.send_header("Retry-After", "7")
+        elif self.path == "/v1/badreq":
+            body = json.dumps({
+                "error": "unknown serving mode 'turbo'",
+                "code": "invalid_mode",
+                "detail": {"mode": "turbo",
+                           "modes": ["fast", "checked", "exact"]},
+            }).encode()
+            self.send_response(400)
         else:
             body = json.dumps({"ok": True}).encode()
             self.send_response(200)
@@ -290,6 +339,18 @@ class TestClientRetries:
         assert info.value.retry_after == 7.0
         assert info.value.status == 429
 
+    def test_400_maps_to_typed_invalid_request(self, flaky_server):
+        from repro.client import InvalidRequestError
+
+        client = GatewayClient(flaky_server, retry_policy=FAST_RETRIES)
+        with pytest.raises(InvalidRequestError) as info:
+            client._json("GET", "/v1/badreq")
+        err = info.value
+        assert err.status == 400
+        assert err.code == "invalid_mode"
+        assert err.detail["modes"] == ["fast", "checked", "exact"]
+        assert _FlakyHandler.requests_seen == 1  # poison: no retry
+
     def test_connection_refused_raises_unavailable(self):
         client = GatewayClient(
             "http://127.0.0.1:9", retry_policy=FAST_RETRIES, timeout=0.5
@@ -305,6 +366,9 @@ class TestClientRetries:
             client.submit(3.14)
 
     def test_error_hierarchy(self):
+        from repro.client import InvalidRequestError
+
         assert issubclass(UnauthorizedError, GatewayError)
         assert issubclass(RateLimitedError, GatewayError)
         assert issubclass(GatewayUnavailable, GatewayError)
+        assert issubclass(InvalidRequestError, GatewayError)

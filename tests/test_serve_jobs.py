@@ -36,6 +36,27 @@ class TestJobSpec:
         assert base.key() != JobSpec(workload="votes", seed=1,
                                      elide=False).key()
 
+    def test_mode_is_part_of_the_key(self):
+        # Regression: a fast (surrogate) result stored under the same key
+        # as an exact submission would silently answer full-MCMC requests
+        # with approximate draws. The serving mode must split the keys.
+        base = JobSpec(workload="votes", seed=1)
+        assert base.mode == "exact"
+        keys = {base.with_mode(mode).key()
+                for mode in ("fast", "checked", "exact")}
+        assert len(keys) == 3
+
+    def test_with_mode_preserves_sampling_identity(self):
+        spec = JobSpec(workload="votes", mode="fast", seed=3, priority=2)
+        assert spec.with_mode("fast") is spec
+        twin = spec.with_mode("exact")
+        assert twin.key() == JobSpec(workload="votes", seed=3).key()
+        assert twin.priority == spec.priority
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown serving mode"):
+            JobSpec(workload="votes", mode="turbo")
+
     def test_explicit_warmup_equals_default_half(self):
         implicit = JobSpec(workload="votes", n_iterations=100)
         explicit = JobSpec(workload="votes", n_iterations=100, n_warmup=50)
