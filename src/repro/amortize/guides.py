@@ -225,6 +225,9 @@ class GuideStore:
         self._remember(record)
         path = self._path(record.guide_id)
         if path is not None:
+            from repro.resilience import chaos
+
+            chaos.check_write("guide")
             path.parent.mkdir(parents=True, exist_ok=True)
             tmp = path.with_suffix(".tmp")
             with tmp.open("wb") as handle:

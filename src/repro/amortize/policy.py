@@ -85,6 +85,12 @@ class Provenance:
     #: True when the checked tier rejected the surrogate and the draws
     #: come from the exact tier instead.
     escalated: bool = False
+    #: Why this answer is less than what the request asked for, when the
+    #: resilience layer degraded it: ``"deadline"`` (partial draws — the
+    #: job's deadline lapsed mid-run) or ``"brownout"`` (a checked-tier
+    #: escalation suppressed under sustained overload). ``None`` for every
+    #: undegraded answer, so pre-resilience payloads deserialize unchanged.
+    degraded: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)

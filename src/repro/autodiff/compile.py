@@ -45,6 +45,7 @@ __all__ = [
     "CompiledTape",
     "TapeUnsupportedError",
     "record",
+    "tape_breaker",
     "enabled",
     "enable",
     "disable",
@@ -75,6 +76,43 @@ VALIDATE_CALLS = max(0, int(os.environ.get("REPRO_TAPE_VALIDATE", "1")))
 #: structure changes this often would spend more time recording than
 #: replaying.
 MAX_RECORDS = 8
+
+#: Process-wide give-ups (validation disagreements, unsupported graphs,
+#: structure churn) before the tape breaker opens and new recordings are
+#: skipped outright.
+BREAKER_THRESHOLD = 3
+
+#: Seconds the open tape breaker waits before letting one recording probe
+#: whether compilation is healthy again.
+BREAKER_RESET_S = 300.0
+
+_breaker_instance = None
+
+
+def tape_breaker():
+    """The process-wide circuit breaker over tape compilation.
+
+    Give-ups are per-:class:`CompiledFunction`, but their usual causes — a
+    broken op kernel, a numpy change, a pathological model family — are
+    process-wide. After :data:`BREAKER_THRESHOLD` give-ups the breaker
+    opens and *new* recordings (the expensive trace + validate cycle) are
+    skipped in favor of interpreted evaluation; already-validated tapes
+    keep replaying. After :data:`BREAKER_RESET_S` one recording probes, and
+    a validation pass closes the breaker again. State is visible as
+    ``repro_resilience_breaker_state{breaker="compiled_tape"}``.
+    """
+    global _breaker_instance
+    if _breaker_instance is None:
+        from repro import telemetry
+        from repro.resilience.breakers import CircuitBreaker
+
+        _breaker_instance = CircuitBreaker(
+            "compiled_tape",
+            failure_threshold=BREAKER_THRESHOLD,
+            reset_timeout=BREAKER_RESET_S,
+            registry=telemetry.get_registry(),
+        )
+    return _breaker_instance
 
 
 def enabled() -> bool:
@@ -464,6 +502,14 @@ class CompiledFunction:
             return _reference_from_trace(leaf, root, x)
         tape = self._tape
         if tape is None or tape.input_shape != x.shape:
+            if not tape_breaker().allow():
+                # Recent recordings elsewhere in the process failed
+                # validation; don't pay trace + validate again until the
+                # breaker lets a probe through. Not permanent for this
+                # function: a later call retries once the breaker resets.
+                self.stats["fallbacks"] += 1
+                leaf, root = _trace(self._fn, x)
+                return _reference_from_trace(leaf, root, x)
             return self._record_at(x)
         if self._pending_validation > 0:
             return self._validated_replay(x)
@@ -478,6 +524,7 @@ class CompiledFunction:
     def _give_up(self, reason: str) -> None:
         self._broken = reason
         self._tape = None
+        tape_breaker().record_failure()
         warnings.warn(
             f"compiled tape disabled for {self._fn!r}: {reason}; "
             "falling back to interpreted evaluation",
@@ -504,6 +551,10 @@ class CompiledFunction:
         self._record_count += 1
         self.stats["records"] += 1
         self._pending_validation = self._validate_calls
+        if self._validate_calls == 0:
+            # No validation pass will ever vouch for this tape; count the
+            # successful install so a half-open probe can still close.
+            tape_breaker().record_success()
 
     def _validated_replay(self, x: np.ndarray) -> Tuple[float, np.ndarray]:
         tape = self._tape
@@ -532,4 +583,6 @@ class CompiledFunction:
             )
             return ref_value, ref_grad
         self._pending_validation -= 1
+        if self._pending_validation == 0:
+            tape_breaker().record_success()
         return value, grad

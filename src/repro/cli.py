@@ -100,6 +100,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "exact MCMC (checked), or full MCMC (exact)")
     submit.add_argument("--priority", type=int, default=0,
                         help="higher runs first")
+    submit.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="end-to-end deadline: the job is shed, "
+                             "expired, or answered with the draws it has "
+                             "(degraded) once this many seconds pass after "
+                             "submission")
     submit.add_argument("--no-elide", action="store_true",
                         help="always run the full budget")
     submit.add_argument("--rhat-threshold", type=float, default=1.1)
@@ -154,6 +160,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--burst", type=int, default=None,
                        help="rate-limiter burst capacity "
                             "(default: ceil(rate))")
+    serve.add_argument("--max-expected-wait", type=float, default=None,
+                       metavar="SECONDS",
+                       help="shed submissions (503 + Retry-After) once the "
+                            "estimated queue wait exceeds this (off by "
+                            "default; deadline-infeasible jobs are always "
+                            "shed when they carry a deadline)")
+    serve.add_argument("--brownout-after", type=float, default=None,
+                       metavar="SECONDS",
+                       help="enter brownout (checked-tier jobs served from "
+                            "the surrogate without escalation) when the "
+                            "estimated queue wait stays above this; "
+                            "recovers when the wait falls back under it")
 
     metrics = sub.add_parser(
         "metrics", help="render recorded serve metrics as Prometheus text"
@@ -318,6 +336,7 @@ def cmd_submit(args) -> int:
         check_interval=args.check_interval,
         min_kept=args.min_kept,
         checkpoint_interval=args.checkpoint_every,
+        deadline_s=args.deadline,
     )
     if args.remote:
         return _submit_remote(args, spec)
@@ -468,9 +487,11 @@ def cmd_serve(args) -> int:
 
 
 def _serve_http(args) -> int:
-    import time
+    import signal
+    import threading
 
     from repro.gateway import Gateway
+    from repro.resilience import AdmissionController
     from repro.serve import (
         FileJobQueue, InferenceServer, ResultStore, RetryPolicy,
     )
@@ -490,7 +511,19 @@ def _serve_http(args) -> int:
         retry_policy=RetryPolicy(max_attempts=args.max_attempts),
         guide_store=_guide_store(args, path),
         metrics_file=args.metrics_file,
+        admission=AdmissionController(
+            max_expected_wait=args.max_expected_wait,
+            brownout_wait=args.brownout_after,
+        ),
     )
+    shutdown = threading.Event()
+
+    def request_shutdown(signum, frame) -> None:
+        shutdown.set()
+
+    previous_handlers = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous_handlers[signum] = signal.signal(signum, request_shutdown)
     with server, Gateway(
         server,
         host=args.host,
@@ -513,17 +546,27 @@ def _serve_http(args) -> int:
         limit = (f"{args.rate_limit:g} req/s per token" if args.rate_limit
                  else "no rate limit")
         print(f"gateway listening on {gateway.url} ({auth}, {limit}); "
-              f"Ctrl-C to stop")
-        try:
-            while True:
-                time.sleep(1.0)
-        except KeyboardInterrupt:
-            print("\nshutting down")
+              f"SIGTERM/Ctrl-C drains and exits")
+        shutdown.wait()
+        # Graceful drain: stop admitting (new submissions get 503 +
+        # Retry-After), halt in-flight chains at their next iteration
+        # boundary — each writes a final checkpoint, so the job parks as
+        # RETRYING and the next server resumes it bit-identically — then
+        # join the threads and flush a metrics snapshot.
+        print("\ndraining: refusing new jobs, checkpointing in-flight "
+              "chains")
+        gateway.begin_drain()
+        stuck = gateway.stop()
+        for name in stuck:
+            print(f"warning: thread {name!r} did not stop in time",
+                  file=sys.stderr)
         snapshot_path = write_snapshot(
             str(path.parent / "metrics.json"), server.registry
         )
         print(f"metrics snapshot in {snapshot_path} "
               f"(render with `repro metrics`)")
+    for signum, handler in previous_handlers.items():
+        signal.signal(signum, handler)
     return 0
 
 

@@ -80,7 +80,13 @@ class RateLimitedError(GatewayError):
 
 
 class GatewayUnavailable(GatewayError):
-    """The gateway stayed unreachable (or 5xx) through every retry."""
+    """The gateway stayed unreachable (or 5xx) through every retry.
+
+    ``retry_after`` carries the last 503's ``Retry-After`` header (load
+    shedding, drain) when the server sent one.
+    """
+
+    retry_after: Optional[float] = None
 
 
 def _error_for(status: int, message: str, payload, retry_after) -> GatewayError:
@@ -148,24 +154,35 @@ class GatewayClient:
         policy = self.retry_policy
         attempt = 0
         last: Optional[BaseException] = None
+        retry_after: Optional[float] = None
         while attempt < max(1, policy.max_attempts):
             attempt += 1
+            retry_after = None
             try:
                 return self._open(method, path, body, timeout)
             except HTTPError as err:
                 payload = self._json_body(err)
                 message = payload.get("error", err.reason)
+                header = err.headers.get("Retry-After")
+                retry_after = float(header) if header else None
                 if err.code < 500:
-                    retry_after = err.headers.get("Retry-After")
                     raise _error_for(
-                        err.code, message, payload,
-                        float(retry_after) if retry_after else None,
+                        err.code, message, payload, retry_after
                     ) from None
                 last = GatewayUnavailable(err.code, message, payload)
+                last.retry_after = retry_after
             except (URLError, ConnectionError, socket.timeout, TimeoutError) as err:
                 last = err
             if attempt < policy.max_attempts:
-                time.sleep(policy.backoff("transient", attempt))
+                # A 503 Retry-After (load shedding, drain) is the server's
+                # own wait estimate; honor it when it exceeds our backoff,
+                # capped so a wild header cannot park the client for hours.
+                delay = policy.backoff("transient", attempt)
+                if retry_after is not None:
+                    delay = min(
+                        max(delay, retry_after), policy.max_backoff
+                    )
+                time.sleep(delay)
         if isinstance(last, GatewayError):
             raise last
         raise GatewayUnavailable(

@@ -29,15 +29,17 @@ re-run (deterministically, or answered from the result store).
 from __future__ import annotations
 
 import threading
+import warnings
 from http.server import ThreadingHTTPServer
 from typing import Dict, List, Optional
 
 from repro.gateway.auth import BearerAuth
 from repro.gateway.ratelimit import RateLimiter
-from repro.gateway.routes import GatewayRequestHandler
-from repro.gateway.sse import EventBroker, JobEvent
+from repro.gateway.routes import GatewayDrainingError, GatewayRequestHandler
+from repro.gateway.sse import DEFAULT_SUBSCRIBER_LIMIT, EventBroker, JobEvent
 from repro.serve.job import Job, JobSpec, JobState
 from repro.serve.server import InferenceServer
+from repro.telemetry.instrument import RESILIENCE_DURABILITY_ERRORS, help_for
 
 
 class _GatewayHTTPServer(ThreadingHTTPServer):
@@ -64,6 +66,7 @@ class Gateway:
         burst: Optional[int] = None,
         file_queue=None,
         sse_keepalive: float = 15.0,
+        sse_subscriber_limit: int = DEFAULT_SUBSCRIBER_LIMIT,
         idle_poll: float = 0.05,
     ) -> None:
         self.server = server
@@ -79,12 +82,14 @@ class Gateway:
         self.events = EventBroker()
         self.file_queue = file_queue
         self.sse_keepalive = sse_keepalive
+        self.sse_subscriber_limit = sse_subscriber_limit
         self.idle_poll = idle_poll
         #: Durable-queue entry ids riding on each job (duplicates fold).
         self._entries: Dict[str, List[str]] = {}
         self._lock = threading.RLock()
         self._wake = threading.Event()
         self._stop = threading.Event()
+        self._draining = threading.Event()
         self._drain_thread: Optional[threading.Thread] = None
         self._http_thread: Optional[threading.Thread] = None
         self._chain_callbacks()
@@ -103,7 +108,7 @@ class Gateway:
             if prev_start is not None:
                 prev_start(job)
             for entry_id in self._job_entries(job):
-                self.file_queue.mark_running(entry_id)
+                self._queue_append(self.file_queue.mark_running, entry_id)
             self.events.publish(job.job_id, self._state_event(job))
 
         def on_finish(job: Job) -> None:
@@ -111,8 +116,10 @@ class Gateway:
                 prev_finish(job)
             if job.state.terminal:
                 for entry_id in self._job_entries(job):
-                    self.file_queue.mark_finished(
-                        entry_id, state=job.state.value
+                    self._queue_append(
+                        self.file_queue.mark_finished,
+                        entry_id,
+                        state=job.state.value,
                     )
             self.events.publish(job.job_id, self._state_event(job))
 
@@ -132,6 +139,31 @@ class Gateway:
             return []
         with self._lock:
             return list(self._entries.get(job.job_id, ()))
+
+    def _queue_append(self, append, *args, **kwargs):
+        """Run one durable-queue append, degrading on I/O failure.
+
+        A full or dying disk under the JSONL log must not fail the request
+        or the job — the in-memory server is still correct; what is lost is
+        crash recovery for this entry. The failure is warned and counted
+        (``repro_resilience_durability_errors_total{target="filequeue"}``)
+        so operators see the durability gap. Returns the append's value, or
+        None when it failed.
+        """
+        try:
+            return append(*args, **kwargs)
+        except OSError as exc:
+            warnings.warn(
+                f"durable queue append failed ({exc}); "
+                "continuing without durability for this entry",
+                RuntimeWarning,
+            )
+            self.registry.counter(
+                RESILIENCE_DURABILITY_ERRORS,
+                {"target": "filequeue"},
+                help=help_for(RESILIENCE_DURABILITY_ERRORS),
+            ).inc()
+            return None
 
     @staticmethod
     def _state_event(job: Job) -> JobEvent:
@@ -161,21 +193,29 @@ class Gateway:
         recovery) instead of appending a fresh one. Raises
         :class:`~repro.serve.queue.AdmissionError` on a full queue and
         ``KeyError`` on an unknown workload, exactly like the in-process
-        server.
+        server; :class:`~repro.gateway.routes.GatewayDrainingError` once
+        :meth:`begin_drain` has been called.
         """
+        if self.draining:
+            raise GatewayDrainingError(
+                "gateway is draining; not accepting new jobs"
+            )
         with self._lock:
             known = set(self.server.jobs)
             job = self.server.submit(spec)
             fresh = job.job_id not in known
             if self.file_queue is not None:
                 if entry_id is None:
-                    entry_id = self.file_queue.submit(spec)
-                self._entries.setdefault(job.job_id, []).append(entry_id)
-                if job.state.terminal:
-                    # Answered from the result store without running.
-                    self.file_queue.mark_finished(
-                        entry_id, state=job.state.value
-                    )
+                    entry_id = self._queue_append(self.file_queue.submit, spec)
+                if entry_id is not None:
+                    self._entries.setdefault(job.job_id, []).append(entry_id)
+                    if job.state.terminal:
+                        # Answered from the result store without running.
+                        self._queue_append(
+                            self.file_queue.mark_finished,
+                            entry_id,
+                            state=job.state.value,
+                        )
         if fresh:
             self.events.publish(
                 job.job_id,
@@ -200,14 +240,21 @@ class Gateway:
         return list(self.server.jobs.values())
 
     def health(self) -> Dict:
-        return {
-            "status": "ok",
+        health = {
+            "status": "draining" if self.draining else "ok",
             "queued": len(self.server.queue),
             "jobs": len(self.server.jobs),
             "draining": bool(
                 self._drain_thread is not None and self._drain_thread.is_alive()
             ),
+            "accepting": not self.draining,
         }
+        if self.server.admission is not None:
+            health["brownout"] = self.server.admission.brownout_active()
+        breakers = getattr(self.server, "breakers", None)
+        if breakers is not None:
+            health["breakers"] = breakers.snapshot()
+        return health
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -246,19 +293,56 @@ class Gateway:
         self._http_thread.start()
         return self
 
-    def stop(self, timeout: float = 30.0) -> None:
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`begin_drain` has refused further admissions."""
+        return self._draining.is_set()
+
+    def begin_drain(self) -> None:
+        """Start a graceful shutdown: refuse new work, checkpoint old work.
+
+        New submissions raise (HTTP: 503 + Retry-After) from this point on.
+        The in-flight job's chains are asked to halt at their next
+        iteration boundary — the stop broadcast makes it a checkpointed
+        "last" iteration, so the job parks as RETRYING and a later server
+        resumes it from the checkpoint, bit-identical. Follow with
+        :meth:`stop` to join the threads.
+        """
+        self._draining.set()
+        self.server.pool.request_halt()
+        self._wake.set()
+
+    def stop(self, timeout: float = 30.0) -> List[str]:
+        """Stop the HTTP and drain threads; returns names of stuck threads.
+
+        A thread still alive after its bounded join is *reported* — named
+        in the returned list and warned about — never silently abandoned:
+        a caller about to exit needs to know the drain thread is still
+        mid-job (its checkpoint may be incomplete).
+        """
         self._stop.set()
         self._wake.set()
         self.http.shutdown()
+        stuck: List[str] = []
         if self._http_thread is not None:
             self._http_thread.join(timeout=timeout)
+            if self._http_thread.is_alive():
+                stuck.append(self._http_thread.name)
             self._http_thread = None
         if self._drain_thread is not None:
             # run_next blocks for the job in flight; bounded join so stop()
             # cannot hang forever on a pathological chain.
             self._drain_thread.join(timeout=timeout)
+            if self._drain_thread.is_alive():
+                stuck.append(self._drain_thread.name)
             self._drain_thread = None
+        for name in stuck:
+            warnings.warn(
+                f"gateway thread {name!r} did not stop within {timeout:.1f}s",
+                RuntimeWarning,
+            )
         self.http.server_close()
+        return stuck
 
     def __enter__(self) -> "Gateway":
         return self.start()

@@ -36,8 +36,9 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.amortize.policy import DEFAULT_MODE, MODES
 from repro.diagnostics.summary import summarize
-from repro.gateway.sse import KEEPALIVE, json_safe
-from repro.serve.job import Job, JobSpec
+from repro.gateway.sse import KEEPALIVE, JobEvent, json_safe
+from repro.resilience import LoadSheddedError, chaos
+from repro.serve.job import Job, JobSpec, JobState
 from repro.serve.queue import AdmissionError
 from repro.telemetry.instrument import (
     GATEWAY_REQUEST_SECONDS,
@@ -45,12 +46,18 @@ from repro.telemetry.instrument import (
     GATEWAY_SSE_EVENTS,
     GATEWAY_UNAUTHORIZED,
     REQUEST_SECONDS_BUCKETS,
+    RESILIENCE_CHAOS_INJECTED,
+    RESILIENCE_SSE_DROPPED,
     help_for,
 )
 
 #: Submission bodies above this are rejected outright (a JobSpec is a few
 #: hundred bytes; anything larger is abuse or a client bug).
 MAX_BODY_BYTES = 64 * 1024
+
+
+class GatewayDrainingError(AdmissionError):
+    """Submission refused because the gateway is draining for shutdown."""
 
 
 class ApiError(Exception):
@@ -166,6 +173,16 @@ def result_view(job: Job, include_draws: bool = False) -> Dict:
     if not job.state.terminal:
         raise ApiError(
             409, f"job {job.job_id} is {job.state.value}; result not ready"
+        )
+    if job.state is JobState.EXPIRED:
+        # The gateway-timeout of the job world: the deadline passed before
+        # any draws worth keeping existed. (A deadline hit *past* warmup
+        # completes DONE with partial draws and degraded provenance, and is
+        # served normally below.)
+        raise ApiError(
+            504,
+            f"job {job.job_id} missed its deadline before producing draws",
+            code="deadline_expired",
         )
     if job.result is None:
         raise ApiError(
@@ -320,6 +337,7 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
             try:
                 if handler is None:
                     raise ApiError(404, f"no route {method} {split.path}")
+                self._maybe_inject_chaos(route)
                 token = None
                 if needs_auth and gateway.auth is not None:
                     token = gateway.auth.authenticate(
@@ -389,6 +407,40 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
                     return "/v1/jobs/{id}/events", self._get_events, True
         return path, None, True
 
+    # -- chaos injection -------------------------------------------------------
+
+    def _count_chaos(self, kind: str) -> None:
+        self.gateway.registry.counter(
+            RESILIENCE_CHAOS_INJECTED,
+            {"kind": kind},
+            help=help_for(RESILIENCE_CHAOS_INJECTED),
+        ).inc()
+
+    def _maybe_inject_chaos(self, route: str) -> None:
+        """Apply at most one scripted HTTP fault to this request.
+
+        No-op unless a chaos plan is installed (``REPRO_CHAOS``). ``delay``
+        stalls then proceeds; ``http_5xx`` becomes an injected 500;
+        ``conn_drop`` closes the socket without a response (the client sees
+        a reset, which its transient retry must absorb).
+        """
+        injector = chaos.active()
+        if injector is None:
+            return
+        fault = injector.http_fault(route)
+        if fault is None:
+            return
+        self._count_chaos(fault.kind)
+        if fault.kind == "delay":
+            time.sleep(fault.seconds)
+        elif fault.kind == "http_5xx":
+            raise ApiError(
+                500, "injected chaos: server error", code="chaos_http_5xx"
+            )
+        elif fault.kind == "conn_drop":
+            self.connection.close()
+            raise BrokenPipeError("injected chaos: connection dropped")
+
     # -- route handlers --------------------------------------------------------
 
     def _read_body(self) -> Dict:
@@ -413,6 +465,20 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
         spec = parse_job_spec(self._read_body())
         try:
             job = self.gateway.submit(spec)
+        except GatewayDrainingError as exc:
+            raise ApiError(503, str(exc), retry_after=5.0, code="draining")
+        except LoadSheddedError as exc:
+            # Cost-aware shedding: the admission controller predicts this
+            # job cannot be served in time (or the queue is overloaded).
+            # 503 + Retry-After, unlike the 429 below, signals server
+            # pressure rather than client misbehavior.
+            raise ApiError(
+                503,
+                str(exc),
+                retry_after=exc.retry_after,
+                code="load_shed",
+                detail={"reason": exc.reason},
+            )
         except AdmissionError as exc:
             raise ApiError(429, str(exc), retry_after=1.0)
         except KeyError as exc:  # unknown workload
@@ -458,15 +524,20 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
         job_id = split.path.split("/")[3]
         self._job_or_404(job_id)
         gateway = self.gateway
-        sub = gateway.events.subscribe(job_id)
+        sub = gateway.events.subscribe(
+            job_id, limit=gateway.sse_subscriber_limit
+        )
         sse_counter = gateway.registry.counter(
             GATEWAY_SSE_EVENTS, help=help_for(GATEWAY_SSE_EVENTS)
         )
+        injector = chaos.active()
+        truncate = injector.sse_fault() if injector is not None else None
         self.send_response(200)
         self.send_header("Content-Type", "text/event-stream")
         self.send_header("Cache-Control", "no-cache")
         self.end_headers()
         self._status = 200
+        sent = 0
         try:
             while True:
                 try:
@@ -477,8 +548,30 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
                     continue
                 if event is None:
                     break
+                dropped = sub.take_dropped()
+                if dropped:
+                    # This connection fell behind its bounded mailbox and
+                    # lost the oldest events; tell it how many, so a client
+                    # knows to re-fetch state instead of trusting the gap.
+                    gateway.registry.counter(
+                        RESILIENCE_SSE_DROPPED,
+                        help=help_for(RESILIENCE_SSE_DROPPED),
+                    ).inc(dropped)
+                    self.wfile.write(
+                        JobEvent(
+                            event="dropped",
+                            data={"job_id": job_id, "dropped": dropped},
+                        ).render()
+                    )
                 self.wfile.write(event.render())
                 self.wfile.flush()
                 sse_counter.inc()
+                sent += 1
+                if truncate is not None and sent >= truncate.after_events:
+                    # Injected half-open stream: stop mid-flight with no
+                    # terminal event, as a dying proxy would.
+                    self._count_chaos(truncate.kind)
+                    self.connection.close()
+                    break
         finally:
             gateway.events.unsubscribe(job_id, sub)

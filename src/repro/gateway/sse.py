@@ -29,6 +29,12 @@ from typing import Dict, List, Optional, Tuple
 #: budget/check_interval; the cap only guards against pathological specs.
 DEFAULT_HISTORY_LIMIT = 1024
 
+#: Per-subscriber mailbox cap. A subscriber that stops reading (a stalled
+#: proxy, a laptop asleep mid-``repro watch``) must not buffer events
+#: without bound inside the gateway; past this, the oldest events are
+#: dropped and the connection is told how many it missed.
+DEFAULT_SUBSCRIBER_LIMIT = 256
+
 
 def json_safe(value):
     """A copy with non-finite floats replaced by ``None``.
@@ -66,10 +72,63 @@ class JobEvent:
 KEEPALIVE = b": keep-alive\n\n"
 
 
+class Subscriber:
+    """Bounded mailbox for one SSE connection.
+
+    ``put`` never blocks the publisher: when the mailbox is full — the
+    subscriber is slow or gone — the *oldest* queued event is discarded and
+    counted, so the connection keeps the freshest view of the job and the
+    handler can emit a ``dropped`` notice. The ``None`` close sentinel is
+    always the final event published to a stream; if drop-oldest ever meets
+    it, the sentinel is kept (the stream is over) and the newcomer is the
+    one discarded.
+    """
+
+    def __init__(self, limit: int = DEFAULT_SUBSCRIBER_LIMIT) -> None:
+        if limit < 1:
+            raise ValueError("subscriber limit must be positive")
+        self.limit = limit
+        self._queue: "queue.Queue" = queue.Queue(maxsize=limit)
+        self._lock = threading.Lock()
+        self._dropped = 0
+
+    def put(self, event: Optional[JobEvent]) -> None:
+        with self._lock:  # serialize publishers; the consumer needs no lock
+            while True:
+                try:
+                    self._queue.put_nowait(event)
+                    return
+                except queue.Full:
+                    try:
+                        oldest = self._queue.get_nowait()
+                    except queue.Empty:
+                        continue  # consumer drained it; retry the put
+                    if oldest is None:
+                        self._queue.put_nowait(None)
+                        return
+                    self._dropped += 1
+
+    def get(self, timeout: Optional[float] = None) -> Optional[JobEvent]:
+        """Next event (blocking); raises ``queue.Empty`` on timeout."""
+        return self._queue.get(timeout=timeout)
+
+    def get_nowait(self) -> Optional[JobEvent]:
+        return self._queue.get_nowait()
+
+    def empty(self) -> bool:
+        return self._queue.empty()
+
+    def take_dropped(self) -> int:
+        """Drop count since the last call, resetting it to zero."""
+        with self._lock:
+            dropped, self._dropped = self._dropped, 0
+        return dropped
+
+
 @dataclass
 class _JobStream:
     history: List[JobEvent] = field(default_factory=list)
-    subscribers: List["queue.Queue"] = field(default_factory=list)
+    subscribers: List[Subscriber] = field(default_factory=list)
     closed: bool = False
     dropped: int = 0
 
@@ -115,9 +174,14 @@ class EventBroker:
                 sub.put(None)
         return len(subscribers)
 
-    def subscribe(self, job_id: str) -> "queue.Queue":
-        """A queue preloaded with the job's history; ``None`` ends the stream."""
-        sub: "queue.Queue" = queue.Queue()
+    def subscribe(
+        self, job_id: str, limit: int = DEFAULT_SUBSCRIBER_LIMIT
+    ) -> Subscriber:
+        """A mailbox preloaded with the job's history; ``None`` ends the
+        stream. The mailbox is bounded (``limit``): a subscriber that stops
+        reading loses oldest events, counted via
+        :meth:`Subscriber.take_dropped`, instead of growing the gateway."""
+        sub = Subscriber(limit=limit)
         with self._lock:
             stream = self._stream(job_id)
             history = list(stream.history)
@@ -130,7 +194,7 @@ class EventBroker:
             sub.put(None)
         return sub
 
-    def unsubscribe(self, job_id: str, sub: "queue.Queue") -> None:
+    def unsubscribe(self, job_id: str, sub: Subscriber) -> None:
         with self._lock:
             stream = self._streams.get(job_id)
             if stream is not None and sub in stream.subscribers:

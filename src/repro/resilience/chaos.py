@@ -1,0 +1,216 @@
+"""Network/disk chaos injection for the serving stack.
+
+PR 2's :mod:`repro.serve.faults` scripts *process* faults (SIGKILL, hangs,
+poisoned models) inside chain workers. This module extends the same design
+— a JSON plan carried by an environment variable, cross-process
+once-semantics via ``O_CREAT | O_EXCL`` sentinel files — to the *I/O
+surface* of the service:
+
+* ``enospc`` — raise ``OSError(ENOSPC)`` from a durability write. The
+  ``target`` selects the path: ``filequeue`` (the gateway's JSONL job log),
+  ``checkpoint`` (chain npz writes, inside worker processes), ``store``
+  (result pickles), ``guide`` (GuideStore persistence).
+* ``http_5xx`` — fail a gateway request with an injected 500.
+* ``conn_drop`` — close the client's TCP connection mid-request without a
+  response.
+* ``delay`` — sleep ``seconds`` before handling a request (slow network).
+* ``sse_truncate`` — cut an SSE stream after ``after_events`` events
+  without a terminal event (a half-open stream, as a dying proxy produces).
+
+HTTP-side kinds optionally restrict to one ``route`` template (as reported
+in gateway telemetry, e.g. ``/v1/jobs/{id}/events``). Disk-side kinds fire
+inside whichever process performs the write — the plan path travels through
+``REPRO_CHAOS``, which worker processes inherit.
+
+The hooks are near-zero-cost when no plan is installed: one ``os.environ``
+lookup guarded by a cached miss. This module ships in the package, like
+``faults``, so operators can rehearse overload/degradation against a live
+service exactly the way the chaos suite does.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional
+
+#: Environment variable carrying the chaos-plan path into processes.
+ENV_VAR = "REPRO_CHAOS"
+
+CHAOS_KINDS = ("enospc", "http_5xx", "conn_drop", "delay", "sse_truncate")
+
+#: Valid ``target`` values for ``enospc`` faults.
+DISK_TARGETS = ("filequeue", "checkpoint", "store", "guide")
+
+
+@dataclass(frozen=True)
+class ChaosFault:
+    """One scripted network or disk failure."""
+
+    kind: str
+    #: ``enospc``: which durability path to fail. HTTP kinds: the route
+    #: template to match (None matches every route).
+    target: Optional[str] = None
+    #: ``delay`` only: how long to stall the request.
+    seconds: float = 0.5
+    #: ``sse_truncate`` only: cut the stream after this many events.
+    after_events: int = 1
+    #: Fire at most this many times across all processes.
+    max_fires: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAOS_KINDS:
+            raise ValueError(
+                f"unknown chaos kind {self.kind!r}; one of {CHAOS_KINDS}"
+            )
+        if self.kind == "enospc":
+            if self.target not in DISK_TARGETS:
+                raise ValueError(
+                    f"enospc target {self.target!r}; one of {DISK_TARGETS}"
+                )
+        if self.max_fires < 1:
+            raise ValueError("max_fires must be >= 1")
+
+
+class ChaosInjector:
+    """Evaluates a chaos plan inside one process."""
+
+    def __init__(
+        self, faults: List[ChaosFault], plan_path: Optional[str] = None
+    ) -> None:
+        self.faults = faults
+        self.plan_path = plan_path
+
+    @classmethod
+    def from_env(cls) -> Optional["ChaosInjector"]:
+        plan_path = os.environ.get(ENV_VAR)
+        if not plan_path:
+            return None
+        try:
+            return cls(read_plan(plan_path), plan_path)
+        except (OSError, ValueError, json.JSONDecodeError):
+            # A vanished or malformed plan disables injection rather than
+            # breaking the service for a reason unrelated to the experiment.
+            return None
+
+    # -- cross-process once-semantics --------------------------------------
+
+    def _claim(self, index: int, fault: ChaosFault) -> bool:
+        """Atomically claim one firing of fault ``index``; False when spent."""
+        if self.plan_path is None:
+            return True
+        for n in range(fault.max_fires):
+            sentinel = f"{self.plan_path}.chaos-fired-{index}-{n}"
+            try:
+                fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.close(fd)
+            return True
+        return False
+
+    # -- injection points --------------------------------------------------
+
+    def fail_write(self, target: str) -> None:
+        """Raise ``OSError(ENOSPC)`` if an ``enospc`` fault claims this
+        write; otherwise return normally."""
+        for index, fault in enumerate(self.faults):
+            if fault.kind != "enospc" or fault.target != target:
+                continue
+            if self._claim(index, fault):
+                raise OSError(
+                    errno.ENOSPC,
+                    f"injected chaos: no space left on device ({target})",
+                )
+
+    def http_fault(self, route: str) -> Optional[ChaosFault]:
+        """Claim at most one HTTP-side fault for this request."""
+        for index, fault in enumerate(self.faults):
+            if fault.kind not in ("http_5xx", "conn_drop", "delay"):
+                continue
+            if fault.target is not None and fault.target != route:
+                continue
+            if self._claim(index, fault):
+                return fault
+        return None
+
+    def sse_fault(self) -> Optional[ChaosFault]:
+        """Claim at most one ``sse_truncate`` fault for this stream."""
+        for index, fault in enumerate(self.faults):
+            if fault.kind != "sse_truncate":
+                continue
+            if self._claim(index, fault):
+                return fault
+        return None
+
+
+# -- process-wide lookup -------------------------------------------------------
+
+#: Cache keyed by the current plan path, so the common no-plan case is a
+#: single dict/env lookup and an installed plan is parsed once per process.
+_cache_path: Optional[str] = None
+_cache_injector: Optional[ChaosInjector] = None
+
+
+def active() -> Optional[ChaosInjector]:
+    """The process's current injector (or None when chaos is off)."""
+    global _cache_path, _cache_injector
+    plan_path = os.environ.get(ENV_VAR)
+    if plan_path != _cache_path:
+        _cache_path = plan_path
+        _cache_injector = ChaosInjector.from_env()
+    return _cache_injector
+
+
+def check_write(target: str) -> None:
+    """Durability-write hook: no-op unless an installed plan fails it."""
+    injector = active()
+    if injector is not None:
+        injector.fail_write(target)
+
+
+# -- plan files ----------------------------------------------------------------
+
+
+def write_plan(path: str, faults: List[ChaosFault]) -> str:
+    payload = [
+        {
+            "kind": f.kind,
+            "target": f.target,
+            "seconds": f.seconds,
+            "after_events": f.after_events,
+            "max_fires": f.max_fires,
+        }
+        for f in faults
+    ]
+    Path(path).write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def read_plan(path: str) -> List[ChaosFault]:
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, list):
+        raise ValueError(f"chaos plan {path} must be a JSON list")
+    return [ChaosFault(**entry) for entry in payload]
+
+
+@contextmanager
+def installed(path: str) -> Iterator[str]:
+    """Point ``REPRO_CHAOS`` at ``path`` for the duration.
+
+    Must wrap worker-pool *startup* for ``enospc`` faults on the checkpoint
+    path: workers read their own (inherited) environment.
+    """
+    previous = os.environ.get(ENV_VAR)
+    os.environ[ENV_VAR] = str(path)
+    try:
+        yield str(path)
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = previous

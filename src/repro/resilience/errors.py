@@ -1,0 +1,20 @@
+"""Shared admission-rejection base class.
+
+:class:`AdmissionError` is raised whenever the serving stack refuses a
+submission at the front door — a full queue (:class:`~repro.serve.queue.
+JobQueue`), cost-aware load shedding (:class:`~repro.resilience.admission.
+LoadSheddedError`), or a draining gateway. It lives in this leaf module so
+both ``repro.serve`` and ``repro.resilience`` can subclass it without
+importing each other (they otherwise form a cycle: the server consults the
+admission controller, and the controller's errors must be catchable as
+queue rejections).
+"""
+
+from __future__ import annotations
+
+
+class AdmissionError(RuntimeError):
+    """The submission was rejected at admission time."""
+
+
+__all__ = ["AdmissionError"]

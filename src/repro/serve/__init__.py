@@ -45,6 +45,9 @@ from repro.serve.workers import (
     ChainExecutionError,
     ChainTask,
     ChainWorkerPool,
+    JobDeadlineExceeded,
+    JobHalted,
+    JobStoppedEarly,
     PoisonChainError,
     chain_tasks,
     execute_chain,
@@ -64,6 +67,9 @@ __all__ = [
     "FileJobQueue",
     "InferenceServer",
     "Job",
+    "JobDeadlineExceeded",
+    "JobHalted",
+    "JobStoppedEarly",
     "JobQueue",
     "JobSpec",
     "JobState",

@@ -77,6 +77,9 @@ class CheckpointStore:
         tree_depths: Optional[np.ndarray] = None,
         sampler_state: Optional[dict] = None,
     ) -> Path:
+        from repro.resilience import chaos
+
+        chaos.check_write("checkpoint")
         path = self._path(job_id, chain_index)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {

@@ -80,9 +80,28 @@ class FileJobQueue:
         self.path = Path(path)
 
     def _append(self, record: Dict) -> None:
+        from repro.resilience import chaos
+
+        chaos.check_write("filequeue")
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a") as handle:
             handle.write(json.dumps(record) + "\n")
+
+    @staticmethod
+    def _count_torn_line() -> None:
+        """Count a skipped log line in the process-global registry (the
+        queue has no injected registry — it predates telemetry — and a
+        recovery anomaly must be visible wherever metrics are scraped)."""
+        from repro import telemetry
+        from repro.telemetry.instrument import (
+            RESILIENCE_QUEUE_TORN_LINES,
+            help_for,
+        )
+
+        telemetry.get_registry().counter(
+            RESILIENCE_QUEUE_TORN_LINES,
+            help=help_for(RESILIENCE_QUEUE_TORN_LINES),
+        ).inc()
 
     # -- producer side (repro submit) ------------------------------------------
 
@@ -118,8 +137,25 @@ class FileJobQueue:
         order: List[str] = []
         started: Dict[str, bool] = {}
         finished: Dict[str, bool] = {}
-        for lineno, line in enumerate(self.path.read_text().splitlines(), 1):
-            if not line.strip():
+        # Read bytes and decode per line: a crash (or ENOSPC) mid-append can
+        # tear the final line anywhere, including inside a multi-byte UTF-8
+        # sequence — read_text() would then raise UnicodeDecodeError and
+        # take the *whole* queue down with it. Decoding line-by-line
+        # quarantines the damage to the torn line.
+        for lineno, raw_line in enumerate(
+            self.path.read_bytes().split(b"\n"), 1
+        ):
+            if not raw_line.strip():
+                continue
+            try:
+                line = raw_line.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                warnings.warn(
+                    f"{self.path}:{lineno}: skipping torn (undecodable) "
+                    f"queue line ({exc})",
+                    RuntimeWarning,
+                )
+                self._count_torn_line()
                 continue
             try:
                 record = json.loads(line)
@@ -129,6 +165,7 @@ class FileJobQueue:
                     f"line ({exc})",
                     RuntimeWarning,
                 )
+                self._count_torn_line()
                 continue
             n_records += 1
             try:
@@ -186,6 +223,9 @@ class FileJobQueue:
             ))
         for entry in recovery.orphaned:
             lines.append(json.dumps({"op": "running", "id": entry.entry_id}))
+        from repro.resilience import chaos
+
+        chaos.check_write("filequeue")
         content = "".join(line + "\n" for line in lines)
         tmp = self.path.with_name(self.path.name + ".tmp")
         tmp.write_text(content)

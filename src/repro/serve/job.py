@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 import uuid
 from dataclasses import asdict, dataclass, field, replace
 from enum import Enum
@@ -39,21 +40,31 @@ class JobState(str, Enum):
     FAILED = "failed"
     #: Failed an attempt; waiting out its backoff before running again.
     RETRYING = "retrying"
+    #: Hit its ``deadline_s`` before producing any kept draws (a 504-style
+    #: terminal state — no result, but not a failure of the service).
+    EXPIRED = "expired"
 
     @property
     def terminal(self) -> bool:
-        return self in (JobState.CONVERGED, JobState.DONE, JobState.FAILED)
+        return self in (
+            JobState.CONVERGED, JobState.DONE, JobState.FAILED,
+            JobState.EXPIRED,
+        )
 
 
 _TRANSITIONS = {
-    JobState.QUEUED: {JobState.RUNNING, JobState.DONE, JobState.FAILED},
+    JobState.QUEUED: {
+        JobState.RUNNING, JobState.DONE, JobState.FAILED, JobState.EXPIRED,
+    },
     JobState.RUNNING: {
         JobState.CONVERGED, JobState.DONE, JobState.FAILED, JobState.RETRYING,
+        JobState.EXPIRED,
     },
-    JobState.RETRYING: {JobState.RUNNING, JobState.FAILED},
+    JobState.RETRYING: {JobState.RUNNING, JobState.FAILED, JobState.EXPIRED},
     JobState.CONVERGED: set(),
     JobState.DONE: set(),
     JobState.FAILED: set(),
+    JobState.EXPIRED: set(),
 }
 
 
@@ -89,6 +100,11 @@ class JobSpec:
     min_kept: int = 40
     #: Iterations between chain checkpoints (0 disables checkpointing).
     checkpoint_interval: int = 0
+    #: End-to-end deadline in seconds, measured from submission. ``None``
+    #: (the default) never expires. An expired job is dropped before it
+    #: starts, or — once past warmup — answered with the draws produced so
+    #: far and a ``degraded: deadline`` provenance flag.
+    deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.n_iterations < 2:
@@ -104,6 +120,8 @@ class JobSpec:
             )
         if self.check_interval < 1:
             raise ValueError("check_interval must be >= 1")
+        if self.deadline_s is not None and not self.deadline_s > 0:
+            raise ValueError("deadline_s must be positive")
         validate_mode(self.mode)
 
     @property
@@ -153,6 +171,13 @@ class JobSpec:
         payload["n_warmup"] = self.resolved_warmup
         payload.pop("priority")
         payload.pop("checkpoint_interval")
+        # A deadline changes what the job may produce (partial draws), so
+        # two submissions differing only in deadline must not dedupe onto
+        # each other — ``deadline_s`` is part of the key when set. Dropping
+        # it when unset keeps every pre-deadline key (and every stored
+        # result) byte-identical to earlier releases.
+        if payload.get("deadline_s") is None:
+            payload.pop("deadline_s")
         blob = json.dumps(payload, sort_keys=True, default=str)
         return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
@@ -210,6 +235,8 @@ class Job:
         self.spec = spec
         self.job_id = job_id or uuid.uuid4().hex[:12]
         self.state = JobState.QUEUED
+        #: Monotonic submission instant — the deadline clock starts here.
+        self.submitted_at = time.monotonic()
         self.result: Optional[SamplingResult] = None
         self.placement: Optional[Placement] = None
         self.elision: Optional[ElisionSummary] = None
@@ -230,10 +257,26 @@ class Job:
         #: Classification of the latest failure: "poison" (deterministic,
         #: will recur on replay) or "transient" (worker loss / timeout).
         self.failure_kind: Optional[str] = None
+        #: True when an attempt was stopped by a graceful-drain halt (the
+        #: halted attempt is not counted, but its checkpoints are resumable).
+        self.was_halted = False
 
     @property
     def key(self) -> str:
         return self.spec.key()
+
+    @property
+    def deadline_at(self) -> Optional[float]:
+        """Monotonic instant the job's deadline lapses (None: no deadline)."""
+        if self.spec.deadline_s is None:
+            return None
+        return self.submitted_at + self.spec.deadline_s
+
+    @property
+    def expired(self) -> bool:
+        """True once the deadline has lapsed (regardless of state)."""
+        deadline_at = self.deadline_at
+        return deadline_at is not None and time.monotonic() >= deadline_at
 
     def transition(self, new_state: JobState) -> None:
         if new_state not in _TRANSITIONS[self.state]:

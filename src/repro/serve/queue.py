@@ -18,11 +18,11 @@ import itertools
 import threading
 from typing import Dict, List, Optional
 
+# Canonical home is the dependency-free repro.resilience.errors leaf;
+# re-exported here because queue admission was its first caller and the
+# rest of the codebase imports it from this module.
+from repro.resilience.errors import AdmissionError
 from repro.serve.job import Job, JobState
-
-
-class AdmissionError(RuntimeError):
-    """The queue is full; the submission was rejected."""
 
 
 class JobQueue:

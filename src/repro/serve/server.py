@@ -38,6 +38,7 @@ from __future__ import annotations
 import heapq
 import time
 import traceback
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
@@ -63,9 +64,13 @@ from repro.serve.job import ElisionSummary, Job, JobSpec, JobState, Placement
 from repro.serve.monitor import ConvergenceMonitor
 from repro.serve.queue import AdmissionError, JobQueue
 from repro.serve.store import ResultStore, StoredResult, stored_provenance
+from repro.resilience.admission import AdmissionController, LoadSheddedError
+from repro.resilience.breakers import BreakerBoard, CircuitOpenError
 from repro.serve.workers import (
     ChainExecutionError,
     ChainWorkerPool,
+    JobDeadlineExceeded,
+    JobHalted,
     chain_tasks,
     truncate_chain,
 )
@@ -76,6 +81,10 @@ from repro.telemetry.instrument import (
     AMORTIZE_GUIDE_TRAINS,
     AMORTIZE_KHAT,
     AMORTIZE_SERVED,
+    RESILIENCE_BROWNOUT_DOWNGRADES,
+    RESILIENCE_DEADLINE_EXPIRED,
+    RESILIENCE_DEGRADED,
+    RESILIENCE_DURABILITY_ERRORS,
     SERVE_ADMISSION_REJECTIONS,
     SERVE_JOB_RETRIES,
     SERVE_JOBS,
@@ -122,6 +131,10 @@ def classify_failure(exc: BaseException) -> str:
     """
     if isinstance(exc, ChainExecutionError):
         return "poison" if exc.poison else "transient"
+    if isinstance(exc, JobHalted):
+        # A graceful-drain stop says nothing about the job; a restarted
+        # server resumes it from its checkpoints.
+        return "transient"
     if isinstance(exc, (TimeoutError, ConnectionError, BrokenPipeError)):
         return "transient"
     return "poison"
@@ -152,6 +165,12 @@ class InferenceServer:
         guide_store: Optional[GuideStore] = None,
         #: When the checked tier trusts the surrogate (PSIS k̂ ≤ 0.7).
         escalation_policy: Optional[EscalationPolicy] = None,
+        #: Cost-aware load shedding + brownout (None: admit everything —
+        #: exactly the pre-resilience behavior; deadlines still work).
+        admission: Optional[AdmissionController] = None,
+        #: Circuit breakers for GuideStore/ResultStore I/O. Defaults to a
+        #: fresh board on the server's registry.
+        breakers: Optional[BreakerBoard] = None,
         #: Called with the job as each execution attempt starts / ends (the
         #: end callback also fires on RETRYING attempts).
         on_job_start: Optional[Callable[[Job], None]] = None,
@@ -197,6 +216,13 @@ class InferenceServer:
         self.retry_policy = retry_policy or RetryPolicy()
         self.guide_store = guide_store if guide_store is not None else GuideStore()
         self.escalation_policy = escalation_policy or EscalationPolicy()
+        self.admission = admission
+        if self.admission is not None and self.admission.registry is None:
+            self.admission.registry = self.registry
+        self.breakers = (
+            breakers if breakers is not None
+            else BreakerBoard(registry=self.registry)
+        )
         self.on_job_start = on_job_start
         self.on_job_finish = on_job_finish
         self.on_progress = on_progress
@@ -231,12 +257,12 @@ class InferenceServer:
                 f"available: {', '.join(workload_names())}"
             )
 
-        stored = self.store.get(spec.key())
+        stored = self._store_get(spec.key())
         provenance = stored_provenance(stored) if stored is not None else None
         if stored is None and spec.mode != "exact":
             # Dedup inheritance: an exact answer satisfies any mode of the
             # same sampling spec (the upgrade documented in JobSpec.key).
-            stored = self.store.get(spec.with_mode("exact").key())
+            stored = self._store_get(spec.with_mode("exact").key())
             if stored is not None:
                 provenance = Provenance(mode=spec.mode, tier="exact")
         if stored is not None:
@@ -251,6 +277,22 @@ class InferenceServer:
             self._count_terminal(job)
             return job
 
+        if self.admission is not None:
+            queued = self.queue.snapshot()
+            if spec.key() not in {queued_job.key for queued_job in queued}:
+                # Cost-aware shedding — but never shed a duplicate of work
+                # already queued: folding onto it is free.
+                try:
+                    self.admission.check(
+                        spec,
+                        self.admission.expected_wait(
+                            [queued_job.spec for queued_job in queued]
+                        ),
+                    )
+                except LoadSheddedError:
+                    self._admission_rejections.inc()
+                    raise
+
         try:
             job = self.queue.push(Job(spec))
         except AdmissionError:
@@ -259,6 +301,62 @@ class InferenceServer:
         self.jobs.setdefault(job.job_id, job)
         self._queue_depth.set(len(self.queue))
         return job
+
+    # -- result-store access (circuit-broken) ----------------------------------
+
+    def _store_get(self, key: str) -> Optional[StoredResult]:
+        """Dedup lookup through the result-store breaker.
+
+        An open circuit (or an I/O failure) degrades to a cache miss — the
+        job recomputes, which deterministic execution makes merely slower,
+        never wrong.
+        """
+        breaker = self.breakers.get("result_store")
+        if not breaker.allow():
+            return None
+        try:
+            record = self.store.get(key)
+        except OSError as exc:
+            breaker.record_failure()
+            self._count_durability_error("store")
+            warnings.warn(
+                f"result store read failed ({exc}); treating as a miss",
+                RuntimeWarning,
+            )
+            return None
+        breaker.record_success()
+        return record
+
+    def _store_put(self, key: str, record: StoredResult) -> None:
+        """Persist through the breaker; failures degrade durability only.
+
+        The job already holds its result in memory — losing the disk write
+        costs future dedup, not this answer. ``ResultStore.put`` records
+        in-memory before touching disk, so even a failed call still serves
+        in-process repeats.
+        """
+        breaker = self.breakers.get("result_store")
+        if not breaker.allow():
+            self._count_durability_error("store")
+            return
+        try:
+            self.store.put(key, record)
+        except OSError as exc:
+            breaker.record_failure()
+            self._count_durability_error("store")
+            warnings.warn(
+                f"result store write failed ({exc}); result served from "
+                f"memory only",
+                RuntimeWarning,
+            )
+            return
+        breaker.record_success()
+
+    def _count_durability_error(self, target: str) -> None:
+        self.registry.counter(
+            RESILIENCE_DURABILITY_ERRORS, {"target": target},
+            help=help_for(RESILIENCE_DURABILITY_ERRORS),
+        ).inc()
 
     # -- telemetry -------------------------------------------------------------
 
@@ -372,15 +470,40 @@ class InferenceServer:
         job = self._next_job()
         if job is None:
             return None
+        self._queue_depth.set(len(self.queue))
+        if job.expired:
+            # Dropped before it starts: the fast 504-style terminal state.
+            # Expiring costs nothing, so it beats burning pool time on an
+            # answer nobody is waiting for.
+            self._expire(job, phase="pre_start")
+            self._count_terminal(job)
+            self._note_queue_wait()
+            self._publish_metrics()
+            if self.on_job_finish is not None:
+                self.on_job_finish(job)
+            return job
         job.attempts += 1
         job.transition(JobState.RUNNING)
-        self._queue_depth.set(len(self.queue))
         if self.on_job_start is not None:
             self.on_job_start(job)
+        started_at = time.monotonic()
+        if self.admission is not None:
+            self.admission.job_started(job.spec)
         try:
             self._execute(job)
         except Exception as exc:
             self._handle_failure(job, exc)
+        if self.admission is not None:
+            # Only clean completions teach the service-time model: a failed,
+            # halted, or deadline-truncated attempt measures the fault, not
+            # the family's cost.
+            clean = job.state in (JobState.DONE, JobState.CONVERGED) and (
+                job.provenance is None or job.provenance.degraded is None
+            )
+            self.admission.job_finished(
+                job.spec, time.monotonic() - started_at, success=clean
+            )
+            self._note_queue_wait()
         if job.state.terminal:
             self._count_terminal(job)
             self.pool.discard_job_metrics(job.job_id)
@@ -389,8 +512,45 @@ class InferenceServer:
             self.on_job_finish(job)
         return job
 
+    def _note_queue_wait(self) -> None:
+        """Feed the brownout machine the queue's current expected wait, so
+        sustained-overload state also decays as the backlog drains."""
+        if self.admission is None:
+            return
+        queued = [queued_job.spec for queued_job in self.queue.snapshot()]
+        self.admission.note_wait(self.admission.expected_wait(queued))
+
+    def _expire(self, job: Job, phase: str) -> None:
+        job.error = (
+            f"deadline_s={job.spec.deadline_s:g} lapsed "
+            f"{'before the job started' if phase == 'pre_start' else 'mid-run'}"
+        )
+        job.transition(JobState.EXPIRED)
+        self.registry.counter(
+            RESILIENCE_DEADLINE_EXPIRED, {"phase": phase},
+            help=help_for(RESILIENCE_DEADLINE_EXPIRED),
+        ).inc()
+
     def _handle_failure(self, job: Job, exc: BaseException) -> None:
         """Apply the retry policy to a failed attempt."""
+        if isinstance(exc, JobHalted):
+            # A graceful-drain stop is the service's choice, not the job's
+            # failure: park it without consuming an attempt. Its chains
+            # checkpointed on the way out, so a restarted server (or this
+            # one, if the drain is abandoned) resumes instead of re-running.
+            job.attempts -= 1
+            job.was_halted = True
+            job.failure_kind = "transient"
+            job.attempt_errors.append(
+                "attempt halted for graceful drain (not counted)"
+            )
+            job.transition(JobState.RETRYING)
+            self._retry_seq += 1
+            heapq.heappush(
+                self._retries,
+                (time.monotonic() + 0.1, self._retry_seq, job),
+            )
+            return
         kind = classify_failure(exc)
         job.failure_kind = kind
         job.attempt_errors.append(traceback.format_exc())
@@ -443,7 +603,19 @@ class InferenceServer:
                 "serve.amortize", job=job.job_id, workload=spec.workload,
                 mode=spec.mode,
             ) as attrs:
-                record, trained = self.guide_store.get_or_train(model)
+                guide_breaker = self.breakers.get("guide_store")
+                if not guide_breaker.allow():
+                    # Open circuit: recent guide training/loads kept
+                    # failing. Skip straight to the exact path instead of
+                    # paying the failure again (the except below records
+                    # the breadcrumb).
+                    raise CircuitOpenError("guide_store")
+                try:
+                    record, trained = self.guide_store.get_or_train(model)
+                except Exception:
+                    guide_breaker.record_failure()
+                    raise
+                guide_breaker.record_success()
                 attrs["guide"] = record.guide_id
                 attrs["trained"] = trained
                 if trained:
@@ -477,6 +649,44 @@ class InferenceServer:
                         help=help_for(AMORTIZE_KHAT),
                     ).set(k_hat)
                     if policy.should_escalate(k_hat):
+                        if (
+                            self.admission is not None
+                            and self.admission.brownout_active()
+                        ):
+                            # Brownout: sustained overload downgrades the
+                            # escalation to the surrogate answer. The PSIS
+                            # gate still ran — k̂ is recorded and the
+                            # downgrade is explicit in provenance — but the
+                            # expensive exact run is suppressed until the
+                            # backlog drains. Degraded answers are never
+                            # stored, so no future request inherits this.
+                            attrs["brownout"] = True
+                            job.provenance = Provenance(
+                                mode=spec.mode,
+                                tier="fast",
+                                k_hat=k_hat,
+                                k_hat_threshold=policy.k_hat_threshold,
+                                guide_id=record.guide_id,
+                                guide_trained=trained,
+                                escalated=False,
+                                degraded="brownout",
+                            )
+                            job.result = result
+                            self.registry.counter(
+                                RESILIENCE_BROWNOUT_DOWNGRADES,
+                                help=help_for(RESILIENCE_BROWNOUT_DOWNGRADES),
+                            ).inc()
+                            self.registry.counter(
+                                RESILIENCE_DEGRADED, {"reason": "brownout"},
+                                help=help_for(RESILIENCE_DEGRADED),
+                            ).inc()
+                            self.registry.counter(
+                                AMORTIZE_SERVED, {"tier": "fast"},
+                                help=help_for(AMORTIZE_SERVED),
+                            ).inc()
+                            self._emit_tier_event(job)
+                            job.transition(JobState.DONE)
+                            return True
                         attrs["escalated"] = True
                         self.registry.counter(
                             AMORTIZE_ESCALATIONS,
@@ -513,7 +723,7 @@ class InferenceServer:
                 help=help_for(AMORTIZE_SERVED),
             ).inc()
             self._emit_tier_event(job)
-            self.store.put(
+            self._store_put(
                 spec.key(),
                 StoredResult(
                     spec=spec, result=result, provenance=job.provenance
@@ -547,14 +757,14 @@ class InferenceServer:
         caller then runs the exact path inline.
         """
         spec = job.spec
-        stored = self.store.get(spec.with_mode("exact").key())
+        stored = self._store_get(spec.with_mode("exact").key())
         if stored is None:
             return False
         job.deduped = True
         job.result = stored.result
         job.placement = stored.placement
         job.elision = stored.elision
-        self.store.put(
+        self._store_put(
             spec.key(),
             StoredResult(
                 spec=spec,
@@ -616,7 +826,7 @@ class InferenceServer:
         # failures replay from scratch — resuming cannot change a
         # deterministic outcome, and the failure may predate the checkpoint.
         resume = (
-            job.attempts > 1
+            (job.attempts > 1 or job.was_halted)
             and job.failure_kind == "transient"
             and self.checkpoint_dir is not None
         )
@@ -625,13 +835,21 @@ class InferenceServer:
             engine=spec.engine, n_chains=spec.n_chains,
             attempt=job.attempts, resume=resume,
         ) as attrs:
-            chains = self.pool.run_job(
-                chain_tasks(spec, job.job_id, self.checkpoint_dir, resume=resume),
-                on_draws=on_draws,
-                on_chain_restart=(
-                    monitor.reset_chain if monitor is not None else None
-                ),
-            )
+            try:
+                chains = self.pool.run_job(
+                    chain_tasks(
+                        spec, job.job_id, self.checkpoint_dir, resume=resume
+                    ),
+                    on_draws=on_draws,
+                    on_chain_restart=(
+                        monitor.reset_chain if monitor is not None else None
+                    ),
+                    deadline_at=job.deadline_at,
+                )
+            except JobDeadlineExceeded as exc:
+                attrs["deadline_expired"] = True
+                self._finish_deadline_partial(job, model, exc.chains)
+                return
             attrs["elided"] = monitor is not None and monitor.converged
 
         elided = monitor is not None and monitor.converged
@@ -662,7 +880,7 @@ class InferenceServer:
         if job.provenance is None:
             job.provenance = exact_provenance(spec.mode)
         with self.tracer.span("serve.store", job=job.job_id):
-            self.store.put(
+            self._store_put(
                 spec.key(),
                 StoredResult(
                     spec=spec,
@@ -677,7 +895,7 @@ class InferenceServer:
                 # execution), so an escalated/fallen-back run also settles
                 # the exact twin's key — a later exact submission dedups.
                 exact_spec = spec.with_mode("exact")
-                self.store.put(
+                self._store_put(
                     exact_spec.key(),
                     StoredResult(
                         spec=exact_spec,
@@ -693,6 +911,47 @@ class InferenceServer:
             # its purpose. (Failed jobs keep theirs: a usable partial
             # posterior and the raw material for post-mortems.)
             CheckpointStore(self.checkpoint_dir).discard_job(job.job_id)
+
+    def _finish_deadline_partial(self, job: Job, model, chains) -> None:
+        """Settle a job whose deadline lapsed mid-run.
+
+        Past warmup, the draws already produced are a valid (smaller)
+        posterior sample — serve them, flagged ``degraded: deadline`` in
+        provenance. The result is **never stored**: the store's contract is
+        that a key's draws are the spec's full deterministic answer, and a
+        partial sample depends on wall-clock timing. Before any chain
+        clears warmup there is nothing defensible to serve, so the job ends
+        EXPIRED (the gateway answers 504).
+
+        Chains stop cooperatively at their next iteration, so their lengths
+        differ by a few iterations; truncating all to the shortest keeps
+        the result rectangular (the same invariant elision relies on).
+        """
+        spec = job.spec
+        min_total = min(chain.n_iterations for chain in chains)
+        kept = min_total - spec.resolved_warmup
+        if kept < 1:
+            self._expire(job, phase="mid_run")
+            return
+        chains = [truncate_chain(chain, min_total) for chain in chains]
+        job.result = SamplingResult(
+            model_name=model.name,
+            chains=chains,
+            param_names=model.flat_param_names(),
+        )
+        if job.provenance is None:
+            job.provenance = exact_provenance(spec.mode)
+        job.provenance.degraded = "deadline"
+        self.registry.counter(
+            RESILIENCE_DEGRADED, {"reason": "deadline"},
+            help=help_for(RESILIENCE_DEGRADED),
+        ).inc()
+        self.registry.counter(
+            RESILIENCE_DEADLINE_EXPIRED, {"phase": "mid_run"},
+            help=help_for(RESILIENCE_DEADLINE_EXPIRED),
+        ).inc()
+        self._emit_tier_event(job)
+        job.transition(JobState.DONE)
 
     def run_until_drained(self) -> List[Job]:
         """Execute every job to a terminal state (priority order).

@@ -106,9 +106,15 @@ class ResultStore:
         return None
 
     def put(self, key: str, record: StoredResult) -> None:
+        # Memory first: even if the disk write below fails (ENOSPC, a dying
+        # volume), this process keeps serving the result — the server's
+        # breaker wrapper degrades durability, not the answer.
         self._records[key] = record
         path = self._path(key)
         if path is not None:
+            from repro.resilience import chaos
+
+            chaos.check_write("store")
             path.parent.mkdir(parents=True, exist_ok=True)
             tmp = path.with_suffix(".tmp")
             with tmp.open("wb") as handle:

@@ -43,6 +43,7 @@ import dataclasses
 import multiprocessing as mp
 import os
 import queue as queue_module
+import threading
 import time
 import traceback
 import warnings
@@ -107,6 +108,42 @@ class ChainTask:
     epoch: int = 0
     #: Iterations between telemetry flushes (0 disables chain telemetry).
     metrics_interval: int = DEFAULT_METRICS_INTERVAL
+
+
+class JobStoppedEarly(RuntimeError):
+    """Base for the pool stopping a job on purpose, with its partial chains.
+
+    Raised *instead of returning* so no caller can mistake the cooperative
+    stop for a normal completion and store truncated chains as the job's
+    authoritative (deduplicable) result. ``chains`` holds every chain in
+    task order, each cut at whatever iteration it had reached when the stop
+    broadcast caught it — lengths may differ across chains.
+    """
+
+    def __init__(self, job_id: str, chains: List[ChainResult], why: str) -> None:
+        self.job_id = job_id
+        self.chains = chains
+        super().__init__(f"job {job_id}: {why}")
+
+
+class JobDeadlineExceeded(JobStoppedEarly):
+    """The job's deadline lapsed mid-run; chains were stopped cooperatively."""
+
+    def __init__(self, job_id: str, chains: List[ChainResult]) -> None:
+        super().__init__(
+            job_id, chains,
+            "deadline exceeded mid-run; chains stopped cooperatively",
+        )
+
+
+class JobHalted(JobStoppedEarly):
+    """The pool was asked to halt (graceful drain) while this job ran."""
+
+    def __init__(self, job_id: str, chains: List[ChainResult]) -> None:
+        super().__init__(
+            job_id, chains,
+            "halted for graceful drain; chains checkpointed and stopped",
+        )
 
 
 class ChainExecutionError(RuntimeError):
@@ -261,24 +298,38 @@ def execute_chain(
             (t + 1) % task.checkpoint_interval == 0 or last
         ):
             state = capture()
-            path = checkpoints.save_chain(
-                task.job_id, task.chain_index,
-                samples=state["samples"],
-                iteration=t, n_warmup=task.n_warmup,
-                n_iterations=task.n_iterations,
-                logps=state["logps"],
-                work=state.get("work"),
-                tree_depths=state.get("tree_depths"),
-                sampler_state=state,
-            )
-            if chain_telemetry is not None:
-                chain_telemetry.count_op("checkpoint_writes", 1)
-                try:
-                    chain_telemetry.count_op(
-                        "checkpoint_bytes", os.path.getsize(path)
-                    )
-                except OSError:
-                    pass
+            try:
+                path = checkpoints.save_chain(
+                    task.job_id, task.chain_index,
+                    samples=state["samples"],
+                    iteration=t, n_warmup=task.n_warmup,
+                    n_iterations=task.n_iterations,
+                    logps=state["logps"],
+                    work=state.get("work"),
+                    tree_depths=state.get("tree_depths"),
+                    sampler_state=state,
+                )
+            except OSError as exc:
+                # A full or failing disk must not poison the chain: the
+                # draws are still correct, only resumability degrades (the
+                # chain falls back to an older checkpoint, or a fresh
+                # deterministic re-run). Counted so operators see it.
+                warnings.warn(
+                    f"job {task.job_id} chain {task.chain_index}: checkpoint "
+                    f"write failed ({exc}); continuing without it",
+                    RuntimeWarning,
+                )
+                if chain_telemetry is not None:
+                    chain_telemetry.count_op("checkpoint_failures", 1)
+            else:
+                if chain_telemetry is not None:
+                    chain_telemetry.count_op("checkpoint_writes", 1)
+                    try:
+                        chain_telemetry.count_op(
+                            "checkpoint_bytes", os.path.getsize(path)
+                        )
+                    except OSError:
+                        pass
         return not stopping
 
     hook.wants_stats = chain_telemetry is not None
@@ -458,6 +509,9 @@ class ChainWorkerPool:
         self._stop = None
         self._claims = None
         self._last_seen: Dict[int, float] = {}
+        #: Set by :meth:`request_halt` (graceful drain): the running job is
+        #: stopped cooperatively and surfaces as :class:`JobHalted`.
+        self._halt = threading.Event()
         #: Worker deaths noticed by supervision since pool start.
         self.restarted_workers = 0
         if registry is None:
@@ -518,6 +572,28 @@ class ChainWorkerPool:
         self._tasks = self._events = self._stop = self._claims = None
         self._last_seen = {}
 
+    def request_halt(self) -> None:
+        """Ask the pool to stop the in-flight job at its next iteration.
+
+        Callable from any thread (a signal handler's worker thread, the
+        gateway's drain path). The running chains take a final checkpoint
+        when checkpointing is configured — the stop broadcast makes the
+        next iteration their last, and the worker hook checkpoints on the
+        last iteration — and :meth:`run_job` raises :class:`JobHalted`
+        instead of returning, so the caller parks the job for a resumed
+        re-run rather than storing a truncated result. The flag is sticky
+        until :meth:`clear_halt`: jobs submitted after a halt are stopped
+        immediately too.
+        """
+        self._halt.set()
+
+    def clear_halt(self) -> None:
+        self._halt.clear()
+
+    @property
+    def halt_requested(self) -> bool:
+        return self._halt.is_set()
+
     def __enter__(self) -> "ChainWorkerPool":
         self._ensure_started()
         return self
@@ -532,6 +608,7 @@ class ChainWorkerPool:
         tasks: List[ChainTask],
         on_draws: Optional[Callable[[int, np.ndarray], Optional[int]]] = None,
         on_chain_restart: Optional[Callable[[int], None]] = None,
+        deadline_at: Optional[float] = None,
     ) -> List[ChainResult]:
         """Execute one job's chain shards; block until every chain returns.
 
@@ -543,6 +620,15 @@ class ChainWorkerPool:
         just before a lost chain is re-queued, so the caller can reset any
         per-chain monitor state (the restarted chain re-emits its kept
         draws from the beginning or from its checkpoint prefix).
+
+        ``deadline_at`` (a ``time.monotonic()`` instant) arms cooperative
+        mid-run cancellation: when it lapses, the pool broadcasts the stop
+        iteration — the same seam elision uses, polled by every chain's
+        ``iteration_hook`` — collects whatever each chain had produced, and
+        raises :class:`JobDeadlineExceeded` carrying the partial chains. A
+        job whose elision broadcast already fired wins the race and
+        completes normally: its result is whole. :meth:`request_halt` works
+        the same way but raises :class:`JobHalted`.
         """
         if not tasks:
             return []
@@ -570,10 +656,21 @@ class ChainWorkerPool:
         outstanding = len(tasks)
         job_id = tasks[0].job_id
         deadline = now + self.job_timeout
+        deadline_hit = False
+        halted = False
 
         def broadcast_stop() -> None:
             with self._stop.get_lock():
                 self._stop.value = 0
+
+        def broadcast_stop_if_unset() -> bool:
+            """Stop every chain unless a stop (elision or error) is already
+            broadcast; True when this call owns the stop."""
+            with self._stop.get_lock():
+                if self._stop.value < 0:
+                    self._stop.value = 0
+                    return True
+                return False
 
         while outstanding:
             try:
@@ -621,6 +718,11 @@ class ChainWorkerPool:
                     f"job {job_id}: not finished within "
                     f"{self.job_timeout:.0f}s; pool shut down"
                 )
+            if not (deadline_hit or halted) and not errors:
+                if self._halt.is_set():
+                    halted = broadcast_stop_if_unset()
+                elif deadline_at is not None and now >= deadline_at:
+                    deadline_hit = broadcast_stop_if_unset()
 
             resolved = set(chains) | set(errors)
             for lost in self._sweep(now, resolved):
@@ -656,7 +758,12 @@ class ChainWorkerPool:
 
         if errors:
             raise ChainExecutionError(job_id, errors, kinds)
-        return [chains[task.chain_index] for task in tasks]
+        ordered = [chains[task.chain_index] for task in tasks]
+        if halted:
+            raise JobHalted(job_id, ordered)
+        if deadline_hit:
+            raise JobDeadlineExceeded(job_id, ordered)
+        return ordered
 
     def discard_job_metrics(self, job_id: str) -> None:
         """Drop a finished job's merge watermarks (its counters stay)."""

@@ -70,6 +70,19 @@ GATEWAY_UNAUTHORIZED = "repro_gateway_unauthorized_total"
 GATEWAY_RATELIMITED = "repro_gateway_ratelimited_total"
 GATEWAY_SSE_EVENTS = "repro_gateway_sse_events_total"
 
+RESILIENCE_DEADLINE_EXPIRED = "repro_resilience_deadline_expired_total"
+RESILIENCE_DEGRADED = "repro_resilience_degraded_total"
+RESILIENCE_SHED = "repro_resilience_shed_total"
+RESILIENCE_BROWNOUT = "repro_resilience_brownout_active"
+RESILIENCE_BROWNOUT_DOWNGRADES = "repro_resilience_brownout_downgrades_total"
+RESILIENCE_BREAKER_STATE = "repro_resilience_breaker_state"
+RESILIENCE_BREAKER_TRIPS = "repro_resilience_breaker_trips_total"
+RESILIENCE_SERVICE_SECONDS = "repro_resilience_service_seconds"
+RESILIENCE_QUEUE_TORN_LINES = "repro_resilience_queue_torn_lines_total"
+RESILIENCE_SSE_DROPPED = "repro_resilience_sse_dropped_total"
+RESILIENCE_CHAOS_INJECTED = "repro_resilience_chaos_injected_total"
+RESILIENCE_DURABILITY_ERRORS = "repro_resilience_durability_errors_total"
+
 #: Tree depths are small integers; powers of two resolve every real depth.
 TREE_DEPTH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
 #: Chain wall-times from milliseconds to hours.
@@ -111,6 +124,32 @@ _HELP = {
     GATEWAY_UNAUTHORIZED: "Requests rejected by bearer-token auth",
     GATEWAY_RATELIMITED: "Requests rejected by the per-token rate limiter",
     GATEWAY_SSE_EVENTS: "Server-sent events delivered to subscribers",
+    RESILIENCE_DEADLINE_EXPIRED: (
+        "Jobs that hit their deadline (phase: pre_start or mid_run)"
+    ),
+    RESILIENCE_DEGRADED: (
+        "Degraded answers served (reason: deadline or brownout)"
+    ),
+    RESILIENCE_SHED: "Submissions rejected by cost-aware load shedding",
+    RESILIENCE_BROWNOUT: "1 while brownout tier-downgrade mode is active",
+    RESILIENCE_BROWNOUT_DOWNGRADES: (
+        "checked-tier escalations suppressed by brownout"
+    ),
+    RESILIENCE_BREAKER_STATE: (
+        "Circuit breaker state (0 closed, 0.5 half-open, 1 open)"
+    ),
+    RESILIENCE_BREAKER_TRIPS: "Circuit breaker closed/half-open -> open trips",
+    RESILIENCE_SERVICE_SECONDS: "Measured per-attempt service time",
+    RESILIENCE_QUEUE_TORN_LINES: (
+        "Torn or undecodable FileJobQueue log lines skipped on load"
+    ),
+    RESILIENCE_SSE_DROPPED: (
+        "SSE events dropped on bounded subscriber queues (slow consumers)"
+    ),
+    RESILIENCE_CHAOS_INJECTED: "Chaos faults injected, by kind",
+    RESILIENCE_DURABILITY_ERRORS: (
+        "Durability writes that failed and were degraded, by target"
+    ),
 }
 
 
@@ -419,6 +458,12 @@ class ChainMetricsMerger:
             registry.counter(
                 SERVE_CHECKPOINT_BYTES, help=_HELP[SERVE_CHECKPOINT_BYTES]
             ).inc(cp_bytes)
+        cp_failures = ops.get("checkpoint_failures", 0)
+        if cp_failures:
+            registry.counter(
+                RESILIENCE_DURABILITY_ERRORS, {"target": "checkpoint"},
+                help=_HELP[RESILIENCE_DURABILITY_ERRORS],
+            ).inc(cp_failures)
         seconds = ops.get("chain_seconds")
         if seconds is not None:
             registry.histogram(
