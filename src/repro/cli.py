@@ -114,6 +114,12 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--checkpoint-every", type=int, default=0,
                         help="iterations between chain checkpoints (0: off)")
     submit.add_argument("--queue-dir", default=".repro-serve")
+    submit.add_argument("--shards", type=int, default=None, metavar="K",
+                        help="submit into a K-shard fleet queue under "
+                             "<queue-dir>, routed by the placement ring")
+    submit.add_argument("--fleet", default=None, metavar="FILE",
+                        help="fleet topology JSON driving the routing ring "
+                             "(implies sharded submit)")
     submit.add_argument("--remote", default=None, metavar="URL",
                         help="submit to a gateway (`repro serve --http`) "
                              "instead of the local queue file")
@@ -172,6 +178,44 @@ def build_parser() -> argparse.ArgumentParser:
                             "the surrogate without escalation) when the "
                             "estimated queue wait stays above this; "
                             "recovers when the wait falls back under it")
+    serve.add_argument("--shards", type=int, default=None, metavar="K",
+                       help="fleet mode (requires --http): drain a K-shard "
+                            "leased queue under <queue-dir> instead of the "
+                            "single JSONL log (see docs/fleet.md)")
+    serve.add_argument("--replica-id", default=None,
+                       help="this replica's fleet identity (default: "
+                            "host-pid)")
+    serve.add_argument("--lease-ttl", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="shard lease TTL; a replica silent this long "
+                            "loses its shards to a peer")
+    serve.add_argument("--fleet", default=None, metavar="FILE",
+                       help="fleet topology JSON (replicas, platforms, "
+                            "preferred shards); implies fleet mode and "
+                            "overrides --shards")
+
+    fleet = sub.add_parser(
+        "fleet", help="inspect a fleet of gateway replicas"
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_status = fleet_sub.add_parser(
+        "status", help="aggregate health across replicas + on-disk leases"
+    )
+    fleet_status.add_argument("--url", action="append", default=None,
+                              dest="urls", metavar="URL",
+                              help="replica gateway URL (repeatable)")
+    fleet_status.add_argument("--fleet", default=None, metavar="FILE",
+                              help="fleet topology JSON; its box URLs are "
+                                   "polled when no --url is given")
+    fleet_status.add_argument("--queue-dir", default=".repro-serve",
+                              help="sharded queue root for the on-disk "
+                                   "lease/depth table")
+    fleet_status.add_argument("--shards", type=int, default=None,
+                              help="shard count when no --fleet file "
+                                   "describes it")
+    fleet_status.add_argument("--token", default=None,
+                              help="bearer token for the replica healthz "
+                                   "endpoints")
 
     metrics = sub.add_parser(
         "metrics", help="render recorded serve metrics as Prometheus text"
@@ -340,9 +384,32 @@ def cmd_submit(args) -> int:
     )
     if args.remote:
         return _submit_remote(args, spec)
+    if args.fleet or args.shards:
+        return _submit_sharded(args, spec)
     path = _queue_file(args.queue_dir)
     FileJobQueue(path).submit(spec)
     print(f"queued {spec.workload} (key {spec.key()}) in {path}")
+    return 0
+
+
+def _fleet_topology(fleet_file, n_shards, replica_id="local"):
+    """Topology from a JSON file, or a single-box map over ``n_shards``."""
+    from repro.fleet import FleetTopology
+
+    if fleet_file:
+        return FleetTopology.load(fleet_file)
+    return FleetTopology.single_box(n_shards, replica_id=replica_id)
+
+
+def _submit_sharded(args, spec) -> int:
+    from repro.fleet import FleetPlacement, ShardedQueue
+
+    topology = _fleet_topology(args.fleet, args.shards or 1)
+    shard = FleetPlacement(topology).shard_for(spec)
+    queue = ShardedQueue(args.queue_dir, topology.n_shards)
+    queue.producer(shard).submit(spec)
+    print(f"queued {spec.workload} (key {spec.key()}) in shard {shard} "
+          f"of {queue.root}")
     return 0
 
 
@@ -386,6 +453,10 @@ def cmd_serve(args) -> int:
 
     if args.http is not None:
         return _serve_http(args)
+    if args.shards or args.fleet:
+        print("fleet mode (--shards/--fleet) requires --http PORT; "
+              "see docs/fleet.md", file=sys.stderr)
+        return 2
     if not args.drain:
         print("repro serve supports --drain (run every queued job to "
               "completion, then exit) or --http PORT (expose the gateway "
@@ -497,9 +568,29 @@ def _serve_http(args) -> int:
     )
     from repro.telemetry.exposition import write_snapshot
 
+    fleet_mode = bool(args.fleet or args.shards)
     path = _queue_file(args.queue_dir)
-    file_queue = FileJobQueue(path)
-    recovery = file_queue.load() if path.exists() else None
+    file_queue = None
+    recovery = None
+    member = None
+    if fleet_mode:
+        import os
+        import socket
+
+        from repro.fleet import FleetMember
+
+        replica_id = (
+            args.replica_id or f"{socket.gethostname()}-{os.getpid()}"
+        )
+        topology = _fleet_topology(
+            args.fleet, args.shards or 1, replica_id=replica_id
+        )
+        member = FleetMember(
+            args.queue_dir, topology, replica_id, ttl=args.lease_ttl
+        )
+    else:
+        file_queue = FileJobQueue(path)
+        recovery = file_queue.load() if path.exists() else None
 
     store = ResultStore(directory=str(path.parent / "results"))
     server = InferenceServer(
@@ -532,6 +623,7 @@ def _serve_http(args) -> int:
         rate_limit=args.rate_limit,
         burst=args.burst,
         file_queue=file_queue,
+        fleet=member,
     ) as gateway:
         if recovery is not None and recovery.entries:
             if recovery.orphaned:
@@ -545,6 +637,13 @@ def _serve_http(args) -> int:
                 else "no auth")
         limit = (f"{args.rate_limit:g} req/s per token" if args.rate_limit
                  else "no rate limit")
+        if member is not None:
+            # start() (via the context manager) has already acquired the
+            # preferred shards and replayed their logs.
+            print(f"fleet replica {member.replica_id!r}: "
+                  f"{len(member.owned_shards)}/{member.topology.n_shards} "
+                  f"shard(s) leased {member.owned_shards} "
+                  f"(ttl {args.lease_ttl:g}s)")
         print(f"gateway listening on {gateway.url} ({auth}, {limit}); "
               f"SIGTERM/Ctrl-C drains and exits")
         shutdown.wait()
@@ -560,13 +659,84 @@ def _serve_http(args) -> int:
         for name in stuck:
             print(f"warning: thread {name!r} did not stop in time",
                   file=sys.stderr)
+        # Replicas sharing one queue root each write their own snapshot;
+        # `repro metrics --snapshot a --snapshot b` merges them (counters
+        # sum, gauges last-write-win) into one fleet-wide exposition.
+        snapshot_name = (
+            f"metrics-{member.replica_id}.json"
+            if member is not None else "metrics.json"
+        )
         snapshot_path = write_snapshot(
-            str(path.parent / "metrics.json"), server.registry
+            str(path.parent / snapshot_name), server.registry
         )
         print(f"metrics snapshot in {snapshot_path} "
               f"(render with `repro metrics`)")
     for signum, handler in previous_handlers.items():
         signal.signal(signum, handler)
+    return 0
+
+
+def cmd_fleet(args) -> int:
+    """`repro fleet status`: replica health + the on-disk lease table."""
+    import time as _time
+    from pathlib import Path
+
+    from repro.client import FleetClient
+    from repro.fleet import ShardedQueue
+
+    topology = None
+    if args.fleet:
+        topology = _fleet_topology(args.fleet, None)
+    urls = list(args.urls or [])
+    if not urls and topology is not None:
+        urls = [box.url for box in topology.boxes if box.url]
+
+    if urls:
+        health = FleetClient(urls, token=args.token).healthz()
+        print(f"{'replica':<16s} {'status':<12s} {'queued':>7s} "
+              f"{'jobs':>6s} {'leases':<20s} url")
+        for url, view in health.items():
+            if view.get("status") == "unreachable":
+                print(f"{'-':<16s} {'unreachable':<12s} {'-':>7s} "
+                      f"{'-':>6s} {'-':<20s} {url}")
+                continue
+            leases = ",".join(
+                str(lease["shard"]) for lease in view.get("leases", ())
+            ) or "-"
+            print(f"{str(view.get('replica_id', '-')):<16s} "
+                  f"{view['status']:<12s} {view['queued']:>7d} "
+                  f"{view['jobs']:>6d} {leases:<20s} {url}")
+
+    n_shards = topology.n_shards if topology is not None else args.shards
+    root = Path(args.queue_dir)
+    if n_shards is None:
+        # Infer from the shard directories on disk (sparse: a shard no
+        # spec has routed to yet has no directory, so take the max index).
+        indices = []
+        for shard_path in root.glob("shard-*"):
+            try:
+                indices.append(int(shard_path.name.split("-", 1)[1]))
+            except ValueError:
+                continue
+        n_shards = max(indices) + 1 if indices else None
+    if n_shards:
+        queue = ShardedQueue(root, n_shards)
+        print(f"\n{'shard':>5s} {'depth':>6s} {'owner':<16s} "
+              f"{'epoch':>6s} {'expires':>8s}")
+        for shard, state in queue.lease_table().items():
+            depth = queue.depth(shard)
+            if state is None:
+                print(f"{shard:>5d} {depth:>6d} {'-':<16s} {'-':>6s} "
+                      f"{'-':>8s}")
+                continue
+            remaining = state.expires_at - _time.time()
+            expires = f"{remaining:+.1f}s" if remaining < 3600 else "far"
+            print(f"{shard:>5d} {depth:>6d} {state.owner:<16s} "
+                  f"{state.epoch:>6d} {expires:>8s}")
+    elif not urls:
+        print("nothing to show: pass --url, --fleet, or --queue-dir with "
+              "shard directories", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -614,6 +784,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_submit(args)
     elif args.command == "serve":
         return cmd_serve(args)
+    elif args.command == "fleet":
+        return cmd_fleet(args)
     elif args.command == "metrics":
         return cmd_metrics(args)
     elif args.command == "report":

@@ -13,7 +13,10 @@ with kind ``"transient"``. Definitive rejections (4xx) are "poison" in the
 server's taxonomy: retrying cannot change a deterministic answer, so they
 raise immediately as typed exceptions (:class:`InvalidRequestError`,
 :class:`UnauthorizedError`, :class:`RateLimitedError`,
-:class:`GatewayError`).
+:class:`MisdirectedError`, :class:`GatewayError`). Retry sleeps are
+jittered downward so a crowd of clients that all saw the same 503 does not
+retry in lockstep. :class:`FleetClient` spreads work over several gateway
+replicas, following the fleet's ``wrong_replica`` redirects.
 
 Quick start::
 
@@ -30,6 +33,7 @@ Quick start::
 from __future__ import annotations
 
 import json
+import random
 import socket
 import time
 from typing import Dict, Iterator, List, Optional, Tuple, Union
@@ -79,6 +83,23 @@ class RateLimitedError(GatewayError):
         self.retry_after = retry_after
 
 
+class MisdirectedError(GatewayError):
+    """421 — the spec's queue shard is drained by another fleet replica.
+
+    Carries the redirect the server attached: ``shard`` is the spec's ring
+    placement, ``owner`` the replica currently holding that shard's lease,
+    and ``owner_url`` where to resubmit. :class:`FleetClient` follows this
+    automatically; a single-replica :class:`GatewayClient` surfaces it.
+    """
+
+    def __init__(self, status, message, payload=None):
+        super().__init__(status, message, payload)
+        detail = self.payload.get("detail") or {}
+        self.shard: Optional[int] = detail.get("shard")
+        self.owner: Optional[str] = detail.get("owner")
+        self.owner_url: Optional[str] = detail.get("owner_url")
+
+
 class GatewayUnavailable(GatewayError):
     """The gateway stayed unreachable (or 5xx) through every retry.
 
@@ -94,6 +115,8 @@ def _error_for(status: int, message: str, payload, retry_after) -> GatewayError:
         return InvalidRequestError(status, message, payload)
     if status == 401:
         return UnauthorizedError(status, message, payload)
+    if status == 421:
+        return MisdirectedError(status, message, payload)
     if status == 429:
         return RateLimitedError(status, message, payload, retry_after=retry_after)
     return GatewayError(status, message, payload)
@@ -109,7 +132,11 @@ class GatewayClient:
         retry_policy: Optional[RetryPolicy] = None,
         timeout: float = 30.0,
         poll_interval: float = 0.25,
+        backoff_jitter: float = 0.5,
+        rng: Optional[random.Random] = None,
     ) -> None:
+        if not 0.0 <= backoff_jitter <= 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1]")
         self.base_url = base_url.rstrip("/")
         self.token = token
         self.retry_policy = retry_policy or RetryPolicy(
@@ -117,6 +144,9 @@ class GatewayClient:
         )
         self.timeout = timeout
         self.poll_interval = poll_interval
+        #: Fraction of each retry sleep randomized away (see ``_request``).
+        self.backoff_jitter = backoff_jitter
+        self._rng = rng if rng is not None else random.Random()
 
     # -- transport -------------------------------------------------------------
 
@@ -182,6 +212,13 @@ class GatewayClient:
                     delay = min(
                         max(delay, retry_after), policy.max_backoff
                     )
+                # Jitter down into [(1 - j) * delay, delay]: N clients that
+                # saw the same 503 (a replica restarting, a shed burst)
+                # must not retry in lockstep — synchronized retries are a
+                # thundering herd that re-sheds itself forever. Jittering
+                # strictly downward keeps every sleep within the server's
+                # Retry-After estimate and the policy cap.
+                delay *= 1.0 - self.backoff_jitter * self._rng.random()
                 time.sleep(delay)
         if isinstance(last, GatewayError):
             raise last
@@ -296,3 +333,115 @@ class GatewayClient:
 
     def healthz(self) -> Dict:
         return self._json("GET", "/healthz")
+
+
+class FleetClient:
+    """A client for several gateway replicas sharing one sharded queue.
+
+    Submissions start at a rotating replica and follow ``421
+    wrong_replica`` redirects to the shard's live drainer (at most
+    ``max_redirects`` hops — routing is one level deep, so the second hop
+    already lands unless a takeover races the submit). The accepting
+    replica is remembered per job, so :meth:`wait`/:meth:`stream`/
+    :meth:`result` go straight to the process that holds the job state.
+    """
+
+    def __init__(
+        self,
+        urls: List[str],
+        token: Optional[str] = None,
+        max_redirects: int = 4,
+        **client_kwargs,
+    ) -> None:
+        if not urls:
+            raise ValueError("FleetClient needs at least one replica URL")
+        self.max_redirects = max_redirects
+        self._token = token
+        self._client_kwargs = client_kwargs
+        self.clients: Dict[str, GatewayClient] = {}
+        for url in urls:
+            self.client_for(url)
+        self._rotation = 0
+        #: Which replica accepted each job (job_id -> base_url).
+        self._home: Dict[str, str] = {}
+
+    def client_for(self, url: str) -> GatewayClient:
+        """The (cached) single-replica client for one base URL."""
+        key = url.rstrip("/")
+        client = self.clients.get(key)
+        if client is None:
+            client = GatewayClient(
+                key, token=self._token, **self._client_kwargs
+            )
+            self.clients[key] = client
+        return client
+
+    def _next_client(self) -> GatewayClient:
+        urls = list(self.clients)
+        url = urls[self._rotation % len(urls)]
+        self._rotation += 1
+        return self.clients[url]
+
+    def _home_client(self, job_id: str) -> GatewayClient:
+        url = self._home.get(job_id)
+        if url is not None:
+            return self.clients[url]
+        # Unknown job (submitted elsewhere): probe every replica.
+        last: Optional[GatewayError] = None
+        for client in self.clients.values():
+            try:
+                client.job(job_id)
+            except GatewayError as err:
+                last = err
+                continue
+            self._home[job_id] = client.base_url
+            return client
+        raise last if last is not None else KeyError(job_id)
+
+    # -- API surface -----------------------------------------------------------
+
+    def submit(self, spec: Union[JobSpec, Dict, str], **overrides) -> Dict:
+        """Submit to the fleet, following wrong-replica redirects."""
+        client = self._next_client()
+        for _ in range(max(1, self.max_redirects)):
+            try:
+                view = client.submit(spec, **overrides)
+            except MisdirectedError as err:
+                if err.owner_url is None:
+                    raise
+                client = self.client_for(err.owner_url)
+                continue
+            self._home[view["job_id"]] = client.base_url
+            return view
+        raise GatewayError(
+            421,
+            f"still misdirected after {self.max_redirects} redirect(s)",
+        )
+
+    def job(self, job_id: str) -> Dict:
+        return self._home_client(job_id).job(job_id)
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> Dict:
+        return self._home_client(job_id).wait(job_id, timeout=timeout)
+
+    def stream(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> Iterator[Tuple[str, Dict]]:
+        return self._home_client(job_id).stream(job_id, timeout=timeout)
+
+    def result(self, job_id: str, include_draws: bool = False) -> Dict:
+        return self._home_client(job_id).result(
+            job_id, include_draws=include_draws
+        )
+
+    def healthz(self) -> Dict[str, Dict]:
+        """Per-replica health, keyed by base URL; unreachable replicas
+        report ``{"status": "unreachable", "error": ...}`` instead of
+        raising (a fleet status must not die with its first dead box)."""
+        view: Dict[str, Dict] = {}
+        for url, client in self.clients.items():
+            try:
+                view[url] = client.healthz()
+            except (GatewayError, OSError) as err:
+                view[url] = {"status": "unreachable", "error": str(err)}
+        return view

@@ -24,6 +24,14 @@ With a ``file_queue``, every HTTP submission is also appended to the
 durable JSONL log and marked running/finished as the job progresses, so a
 crashed gateway recovers exactly like a crashed ``repro serve``: orphans
 re-run (deterministically, or answered from the result store).
+
+With a ``fleet`` (:class:`~repro.fleet.member.FleetMember`) instead, the
+gateway is one **replica** of several sharing a sharded queue root:
+submissions route by the weighted consistent-hash ring (a spec belonging
+to another replica's shard is refused with the owner's address — HTTP 421
+``wrong_replica``), durable marks go to lease-fenced per-shard logs, and a
+heartbeat thread renews held leases, adopts shards whose drainer died, and
+replays the adopted shards' orphans through the normal recovery path.
 """
 
 from __future__ import annotations
@@ -31,15 +39,28 @@ from __future__ import annotations
 import threading
 import warnings
 from http.server import ThreadingHTTPServer
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from repro.fleet.member import FleetMember, WrongReplicaError
 from repro.gateway.auth import BearerAuth
 from repro.gateway.ratelimit import RateLimiter
 from repro.gateway.routes import GatewayDrainingError, GatewayRequestHandler
 from repro.gateway.sse import DEFAULT_SUBSCRIBER_LIMIT, EventBroker, JobEvent
+from repro.resilience.errors import MutationFencedError
 from repro.serve.job import Job, JobSpec, JobState
 from repro.serve.server import InferenceServer
-from repro.telemetry.instrument import RESILIENCE_DURABILITY_ERRORS, help_for
+from repro.telemetry.instrument import (
+    FLEET_FENCED_WRITES,
+    FLEET_LEASE_ACQUIRED,
+    FLEET_LEASE_EPOCH,
+    FLEET_LEASE_LOST,
+    FLEET_LEASE_RENEWALS,
+    FLEET_ROUTED,
+    FLEET_SHARD_QUEUE_DEPTH,
+    FLEET_WRONG_REPLICA,
+    RESILIENCE_DURABILITY_ERRORS,
+    help_for,
+)
 
 
 class _GatewayHTTPServer(ThreadingHTTPServer):
@@ -65,10 +86,16 @@ class Gateway:
         rate_limit: Optional[float] = None,
         burst: Optional[int] = None,
         file_queue=None,
+        fleet: Optional[FleetMember] = None,
         sse_keepalive: float = 15.0,
         sse_subscriber_limit: int = DEFAULT_SUBSCRIBER_LIMIT,
         idle_poll: float = 0.05,
     ) -> None:
+        if fleet is not None and file_queue is not None:
+            raise ValueError(
+                "pass either file_queue (single durable log) or fleet "
+                "(sharded leased logs), not both"
+            )
         self.server = server
         self.registry = server.registry
         self.tracer = server.tracer
@@ -81,17 +108,21 @@ class Gateway:
         )
         self.events = EventBroker()
         self.file_queue = file_queue
+        self.fleet = fleet
+        self.replica_id = fleet.replica_id if fleet is not None else None
         self.sse_keepalive = sse_keepalive
         self.sse_subscriber_limit = sse_subscriber_limit
         self.idle_poll = idle_poll
-        #: Durable-queue entry ids riding on each job (duplicates fold).
-        self._entries: Dict[str, List[str]] = {}
+        #: Durable-queue entry ids riding on each job (duplicates fold),
+        #: each tagged with its shard (None in single-log mode).
+        self._entries: Dict[str, List[Tuple[Optional[int], str]]] = {}
         self._lock = threading.RLock()
         self._wake = threading.Event()
         self._stop = threading.Event()
         self._draining = threading.Event()
         self._drain_thread: Optional[threading.Thread] = None
         self._http_thread: Optional[threading.Thread] = None
+        self._lease_thread: Optional[threading.Thread] = None
         self._chain_callbacks()
         self.http = _GatewayHTTPServer((host, port), GatewayRequestHandler)
         self.http.gateway = self
@@ -107,17 +138,18 @@ class Gateway:
         def on_start(job: Job) -> None:
             if prev_start is not None:
                 prev_start(job)
-            for entry_id in self._job_entries(job):
-                self._queue_append(self.file_queue.mark_running, entry_id)
+            for shard, entry_id in self._job_entries(job):
+                self._queue_append(self._mark_running, shard, entry_id)
             self.events.publish(job.job_id, self._state_event(job))
 
         def on_finish(job: Job) -> None:
             if prev_finish is not None:
                 prev_finish(job)
             if job.state.terminal:
-                for entry_id in self._job_entries(job):
+                for shard, entry_id in self._job_entries(job):
                     self._queue_append(
-                        self.file_queue.mark_finished,
+                        self._mark_finished,
+                        shard,
                         entry_id,
                         state=job.state.value,
                     )
@@ -134,24 +166,59 @@ class Gateway:
         server.on_job_finish = on_finish
         server.on_progress = on_progress
 
-    def _job_entries(self, job: Job) -> List[str]:
-        if self.file_queue is None:
+    def _job_entries(self, job: Job) -> List[Tuple[Optional[int], str]]:
+        if self.file_queue is None and self.fleet is None:
             return []
         with self._lock:
             return list(self._entries.get(job.job_id, ()))
 
+    # -- durable-log plumbing --------------------------------------------------
+
+    def _mark_running(self, shard: Optional[int], entry_id: str) -> None:
+        self._entry_queue(shard).mark_running(entry_id)
+
+    def _mark_finished(
+        self, shard: Optional[int], entry_id: str, state: str = "done"
+    ) -> None:
+        self._entry_queue(shard).mark_finished(entry_id, state=state)
+
+    def _entry_queue(self, shard: Optional[int]):
+        """The (possibly lease-fenced) log an entry's marks belong in."""
+        if shard is None:
+            return self.file_queue
+        return self.fleet.consumer(shard)
+
+    def _durable_submit(self, shard: Optional[int], spec: JobSpec) -> str:
+        """Producer-side append — deliberately unguarded (any process may
+        hand work to a shard; only draining it is exclusive)."""
+        if shard is None:
+            return self.file_queue.submit(spec)
+        return self.fleet.producer(shard).submit(spec)
+
     def _queue_append(self, append, *args, **kwargs):
-        """Run one durable-queue append, degrading on I/O failure.
+        """Run one durable-queue append, degrading on failure.
 
         A full or dying disk under the JSONL log must not fail the request
         or the job — the in-memory server is still correct; what is lost is
-        crash recovery for this entry. The failure is warned and counted
-        (``repro_resilience_durability_errors_total{target="filequeue"}``)
-        so operators see the durability gap. Returns the append's value, or
-        None when it failed.
+        crash recovery for this entry. Likewise a lease fence veto (this
+        replica lost the shard; its successor owns the entry now) must not
+        fail the running job. Both are warned and counted
+        (``repro_resilience_durability_errors_total{target="filequeue"}``,
+        ``repro_fleet_fenced_writes_total``) so operators see the gap.
+        Returns the append's value, or None when it failed.
         """
         try:
             return append(*args, **kwargs)
+        except MutationFencedError as exc:
+            warnings.warn(
+                f"durable queue write fenced ({exc}); "
+                "the shard's new owner will finish this entry",
+                RuntimeWarning,
+            )
+            self.registry.counter(
+                FLEET_FENCED_WRITES, help=help_for(FLEET_FENCED_WRITES)
+            ).inc()
+            return None
         except OSError as exc:
             warnings.warn(
                 f"durable queue append failed ({exc}); "
@@ -186,33 +253,59 @@ class Gateway:
 
     # -- submission and lookup (handler threads) -------------------------------
 
-    def submit(self, spec: JobSpec, entry_id: Optional[str] = None) -> Job:
+    def submit(
+        self,
+        spec: JobSpec,
+        entry_id: Optional[str] = None,
+        shard: Optional[int] = None,
+    ) -> Job:
         """Admit a spec; record it durably; publish its first event(s).
 
         ``entry_id`` links an already-recorded durable-queue entry (startup
-        recovery) instead of appending a fresh one. Raises
+        recovery) instead of appending a fresh one; recovery callers in
+        fleet mode pass the entry's ``shard`` explicitly, bypassing ring
+        routing (a taken-over shard's entries belong to *that* shard even
+        when the ring would now place them elsewhere). Raises
         :class:`~repro.serve.queue.AdmissionError` on a full queue and
         ``KeyError`` on an unknown workload, exactly like the in-process
         server; :class:`~repro.gateway.routes.GatewayDrainingError` once
-        :meth:`begin_drain` has been called.
+        :meth:`begin_drain` has been called; :class:`~repro.fleet.member.
+        WrongReplicaError` (HTTP: 421 + the owner's address) when the spec
+        hashes to a shard another replica drains.
         """
         if self.draining:
             raise GatewayDrainingError(
                 "gateway is draining; not accepting new jobs"
             )
+        if self.fleet is not None and shard is None:
+            try:
+                shard = self.fleet.route(spec)
+            except WrongReplicaError:
+                self.registry.counter(
+                    FLEET_WRONG_REPLICA, help=help_for(FLEET_WRONG_REPLICA)
+                ).inc()
+                raise
+            self.registry.counter(
+                FLEET_ROUTED,
+                {"shard": str(shard)},
+                help=help_for(FLEET_ROUTED),
+            ).inc()
         with self._lock:
             known = set(self.server.jobs)
             job = self.server.submit(spec)
             fresh = job.job_id not in known
-            if self.file_queue is not None:
+            if self.file_queue is not None or self.fleet is not None:
                 if entry_id is None:
-                    entry_id = self._queue_append(self.file_queue.submit, spec)
+                    entry_id = self._queue_append(self._durable_submit, shard, spec)
                 if entry_id is not None:
-                    self._entries.setdefault(job.job_id, []).append(entry_id)
+                    self._entries.setdefault(job.job_id, []).append(
+                        (shard, entry_id)
+                    )
                     if job.state.terminal:
                         # Answered from the result store without running.
                         self._queue_append(
-                            self.file_queue.mark_finished,
+                            self._mark_finished,
+                            shard,
                             entry_id,
                             state=job.state.value,
                         )
@@ -254,6 +347,10 @@ class Gateway:
         breakers = getattr(self.server, "breakers", None)
         if breakers is not None:
             health["breakers"] = breakers.snapshot()
+        if self.fleet is not None:
+            health["replica_id"] = self.replica_id
+            health["n_shards"] = self.fleet.topology.n_shards
+            health["leases"] = self.fleet.lease_view()
         return health
 
     # -- lifecycle -------------------------------------------------------------
@@ -276,10 +373,106 @@ class Gateway:
                 self._wake.wait(timeout=self.idle_poll)
                 self._wake.clear()
 
+    # -- fleet heartbeat -------------------------------------------------------
+
+    def _recover_shard(self, shard: int) -> None:
+        """Replay an owned shard's log into the server (startup/takeover).
+
+        Entries resubmit with their recorded entry id and an *explicit*
+        shard, so their marks land back in the log they came from.
+        Deterministic execution (or the shared result store) makes the
+        replay bit-identical to what the previous drainer would have
+        produced.
+        """
+        try:
+            recovery = self.fleet.consumer(shard).load()
+        except (OSError, MutationFencedError) as exc:
+            warnings.warn(
+                f"shard {shard}: recovery load failed ({exc})",
+                RuntimeWarning,
+            )
+            return
+        for entry in recovery.entries:
+            try:
+                self.submit(entry.spec, entry_id=entry.entry_id, shard=shard)
+            except Exception as exc:
+                # A rejected entry (full queue, drain race) stays in the
+                # shard log — never marked finished — so a later tick or
+                # restart replays it again.
+                warnings.warn(
+                    f"shard {shard}: could not resubmit recovered entry "
+                    f"{entry.entry_id} ({exc})",
+                    RuntimeWarning,
+                )
+
+    def _lease_tick(self) -> None:
+        fleet = self.fleet
+        lost = fleet.renew_all()
+        if lost:
+            self.registry.counter(
+                FLEET_LEASE_LOST, help=help_for(FLEET_LEASE_LOST)
+            ).inc(len(lost))
+            warnings.warn(
+                f"replica {self.replica_id!r} lost shard lease(s) {lost}",
+                RuntimeWarning,
+            )
+        if fleet.leases:
+            self.registry.counter(
+                FLEET_LEASE_RENEWALS, help=help_for(FLEET_LEASE_RENEWALS)
+            ).inc(len(fleet.leases))
+        if not self.draining:
+            for shard in fleet.takeover_scan():
+                self.registry.counter(
+                    FLEET_LEASE_ACQUIRED,
+                    {"shard": str(shard)},
+                    help=help_for(FLEET_LEASE_ACQUIRED),
+                ).inc()
+                self._recover_shard(shard)
+        for shard, lease in list(fleet.leases.items()):
+            labels = {"shard": str(shard)}
+            self.registry.gauge(
+                FLEET_LEASE_EPOCH, labels, help=help_for(FLEET_LEASE_EPOCH)
+            ).set(lease.epoch)
+            try:
+                depth = fleet.queue.depth(shard)
+            except OSError:
+                continue
+            self.registry.gauge(
+                FLEET_SHARD_QUEUE_DEPTH,
+                labels,
+                help=help_for(FLEET_SHARD_QUEUE_DEPTH),
+            ).set(depth)
+
+    def _lease_loop(self) -> None:
+        # Renew at a third of the TTL: two heartbeats of slack before a
+        # stall lets the lease lapse and a peer adopts the shard.
+        interval = max(0.05, self.fleet.ttl / 3.0)
+        while not self._stop.wait(interval):
+            try:
+                self._lease_tick()
+            except Exception as exc:
+                warnings.warn(
+                    f"lease heartbeat failed ({exc})", RuntimeWarning
+                )
+
     def start(self) -> "Gateway":
         if self._http_thread is not None:
             return self
         self._stop.clear()
+        if self.fleet is not None:
+            for shard in self.fleet.acquire_preferred():
+                self.registry.counter(
+                    FLEET_LEASE_ACQUIRED,
+                    {"shard": str(shard)},
+                    help=help_for(FLEET_LEASE_ACQUIRED),
+                ).inc()
+                self._recover_shard(shard)
+            self._lease_thread = threading.Thread(
+                target=self._lease_loop,
+                name="repro-gateway-lease",
+                daemon=True,
+            )
+            self._lease_thread.start()
         self._drain_thread = threading.Thread(
             target=self._drain_loop, name="repro-gateway-drain", daemon=True
         )
@@ -324,6 +517,11 @@ class Gateway:
         self._wake.set()
         self.http.shutdown()
         stuck: List[str] = []
+        if self._lease_thread is not None:
+            self._lease_thread.join(timeout=timeout)
+            if self._lease_thread.is_alive():
+                stuck.append(self._lease_thread.name)
+            self._lease_thread = None
         if self._http_thread is not None:
             self._http_thread.join(timeout=timeout)
             if self._http_thread.is_alive():
@@ -341,6 +539,12 @@ class Gateway:
                 f"gateway thread {name!r} did not stop within {timeout:.1f}s",
                 RuntimeWarning,
             )
+        if self.fleet is not None and not stuck:
+            # Hand the shards back only once the drain thread is truly
+            # done: releasing earlier would fence our own final marks. A
+            # stuck drain keeps its leases and lets them expire — the
+            # takeover path, not a clean hand-off, is then correct.
+            self.fleet.release_all()
         self.http.server_close()
         return stuck
 

@@ -37,6 +37,7 @@ from urllib.parse import parse_qs, urlsplit
 from repro.amortize.policy import DEFAULT_MODE, MODES
 from repro.diagnostics.summary import summarize
 from repro.gateway.sse import KEEPALIVE, JobEvent, json_safe
+from repro.fleet.member import WrongReplicaError
 from repro.resilience import LoadSheddedError, chaos
 from repro.serve.job import Job, JobSpec, JobState
 from repro.serve.queue import AdmissionError
@@ -467,6 +468,20 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
             job = self.gateway.submit(spec)
         except GatewayDrainingError as exc:
             raise ApiError(503, str(exc), retry_after=5.0, code="draining")
+        except WrongReplicaError as exc:
+            # 421 Misdirected Request: the spec's shard is drained by
+            # another replica. The detail names it; a fleet-aware client
+            # resubmits there, a plain client surfaces the error.
+            raise ApiError(
+                421,
+                str(exc),
+                code="wrong_replica",
+                detail={
+                    "shard": exc.shard,
+                    "owner": exc.owner,
+                    "owner_url": exc.owner_url,
+                },
+            )
         except LoadSheddedError as exc:
             # Cost-aware shedding: the admission controller predicts this
             # job cannot be served in time (or the queue is overloaded).

@@ -16,6 +16,10 @@ surface* of the service:
 * ``delay`` — sleep ``seconds`` before handling a request (slow network).
 * ``sse_truncate`` — cut an SSE stream after ``after_events`` events
   without a terminal event (a half-open stream, as a dying proxy produces).
+* ``lease_expire`` — make a fleet replica observe its shard lease as lost
+  at the next fence check (``target`` selects the shard index as a string;
+  None matches any shard). Exercises the epoch-fencing takeover path of
+  :mod:`repro.fleet.lease` without waiting out a real TTL.
 
 HTTP-side kinds optionally restrict to one ``route`` template (as reported
 in gateway telemetry, e.g. ``/v1/jobs/{id}/events``). Disk-side kinds fire
@@ -41,7 +45,10 @@ from typing import Iterator, List, Optional
 #: Environment variable carrying the chaos-plan path into processes.
 ENV_VAR = "REPRO_CHAOS"
 
-CHAOS_KINDS = ("enospc", "http_5xx", "conn_drop", "delay", "sse_truncate")
+CHAOS_KINDS = (
+    "enospc", "http_5xx", "conn_drop", "delay", "sse_truncate",
+    "lease_expire",
+)
 
 #: Valid ``target`` values for ``enospc`` faults.
 DISK_TARGETS = ("filequeue", "checkpoint", "store", "guide")
@@ -146,6 +153,21 @@ class ChaosInjector:
             if self._claim(index, fault):
                 return fault
         return None
+
+    def lease_fault(self, shard: int) -> bool:
+        """True when a ``lease_expire`` fault claims this shard's fence
+        check — the holder must then behave exactly as if its lease had
+        expired under it (raise, stop draining, let a successor claim).
+        ``target`` restricts to one shard index (as a string); None
+        matches any shard."""
+        for index, fault in enumerate(self.faults):
+            if fault.kind != "lease_expire":
+                continue
+            if fault.target is not None and fault.target != str(shard):
+                continue
+            if self._claim(index, fault):
+                return True
+        return False
 
 
 # -- process-wide lookup -------------------------------------------------------

@@ -1,4 +1,4 @@
-"""Shared admission-rejection base class.
+"""Shared dependency-free error base classes.
 
 :class:`AdmissionError` is raised whenever the serving stack refuses a
 submission at the front door — a full queue (:class:`~repro.serve.queue.
@@ -8,6 +8,12 @@ both ``repro.serve`` and ``repro.resilience`` can subclass it without
 importing each other (they otherwise form a cycle: the server consults the
 admission controller, and the controller's errors must be catchable as
 queue rejections).
+
+:class:`MutationFencedError` is the fencing veto: a durable-queue mutation
+guard (a shard lease whose epoch has been superseded — see
+:mod:`repro.fleet.lease`) refused the write. It lives here for the same
+layering reason: :class:`~repro.serve.filequeue.FileJobQueue` must be able
+to catch it without importing ``repro.fleet`` (which imports ``serve``).
 """
 
 from __future__ import annotations
@@ -17,4 +23,8 @@ class AdmissionError(RuntimeError):
     """The submission was rejected at admission time."""
 
 
-__all__ = ["AdmissionError"]
+class MutationFencedError(RuntimeError):
+    """A lease-guarded durable mutation was refused by its fencing guard."""
+
+
+__all__ = ["AdmissionError", "MutationFencedError"]

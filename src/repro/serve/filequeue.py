@@ -37,8 +37,9 @@ import uuid
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional
 
+from repro.resilience.errors import MutationFencedError
 from repro.serve.job import JobSpec
 
 #: ``load()`` compacts once replayed records exceed this many times the
@@ -74,10 +75,29 @@ class QueueRecovery:
 
 
 class FileJobQueue:
-    """Append-only JSONL submit queue shared by ``submit`` and ``serve``."""
+    """Append-only JSONL submit queue shared by ``submit`` and ``serve``.
 
-    def __init__(self, path) -> None:
+    ``mutation_guard`` fences the *consumer-side* operations — running/
+    finished marks, compaction rewrites, truncation — for queues shared by
+    several processes: the guard (typically :meth:`repro.fleet.lease.
+    ShardLease.check`) is called immediately before each such write and
+    vetoes it by raising :class:`~repro.resilience.errors.
+    MutationFencedError`. Producer-side ``submit`` appends are deliberately
+    unguarded: any process may hand work to a shard; only draining it is
+    exclusive.
+    """
+
+    def __init__(
+        self,
+        path,
+        mutation_guard: Optional[Callable[[], None]] = None,
+    ) -> None:
         self.path = Path(path)
+        self.mutation_guard = mutation_guard
+
+    def _guard(self) -> None:
+        if self.mutation_guard is not None:
+            self.mutation_guard()
 
     def _append(self, record: Dict) -> None:
         from repro.resilience import chaos
@@ -114,9 +134,11 @@ class FileJobQueue:
     # -- consumer side (repro serve) -------------------------------------------
 
     def mark_running(self, entry_id: str) -> None:
+        self._guard()
         self._append({"op": "running", "id": entry_id})
 
     def mark_finished(self, entry_id: str, state: str = "done") -> None:
+        self._guard()
         self._append({"op": "finished", "id": entry_id, "state": state})
 
     def load(self, compact: bool = True) -> QueueRecovery:
@@ -201,11 +223,26 @@ class FileJobQueue:
             )
         live = len(recovery.pending) + len(recovery.orphaned)
         if compact and n_records > COMPACT_RATIO * max(live, 1):
-            self._rewrite(recovery)
+            try:
+                self._rewrite(recovery)
+            except MutationFencedError as exc:
+                # Opportunistic compaction is a tidy-up, not a correctness
+                # step: a reader that does not hold the shard's lease (a
+                # status command, a stale ex-holder) must never rewrite a
+                # log another process is actively draining. Explicit
+                # :meth:`compact` calls propagate the veto instead.
+                warnings.warn(
+                    f"{self.path}: skipping compaction ({exc})",
+                    RuntimeWarning,
+                )
         return recovery
 
     def compact(self) -> QueueRecovery:
-        """Rewrite the log to just its live entries, unconditionally."""
+        """Rewrite the log to just its live entries, unconditionally.
+
+        Lease-guarded: raises :class:`MutationFencedError` when this
+        queue's ``mutation_guard`` vetoes the rewrite.
+        """
         recovery = self.load(compact=False)
         self._rewrite(recovery)
         return recovery
@@ -216,6 +253,7 @@ class FileJobQueue:
         Orphans keep their ``running`` marker so a subsequent replay still
         classifies them as orphaned; everything finished is dropped.
         """
+        self._guard()
         lines = []
         for entry in recovery.entries:  # orphans first: admitted earlier
             lines.append(json.dumps(
@@ -233,5 +271,6 @@ class FileJobQueue:
 
     def truncate(self) -> None:
         """Clear the log (every entry has reached a terminal state)."""
+        self._guard()
         if self.path.exists():
             self.path.write_text("")

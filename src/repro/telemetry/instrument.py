@@ -83,6 +83,15 @@ RESILIENCE_SSE_DROPPED = "repro_resilience_sse_dropped_total"
 RESILIENCE_CHAOS_INJECTED = "repro_resilience_chaos_injected_total"
 RESILIENCE_DURABILITY_ERRORS = "repro_resilience_durability_errors_total"
 
+FLEET_SHARD_QUEUE_DEPTH = "repro_fleet_shard_queue_depth"
+FLEET_LEASE_EPOCH = "repro_fleet_lease_epoch"
+FLEET_LEASE_ACQUIRED = "repro_fleet_lease_acquired_total"
+FLEET_LEASE_LOST = "repro_fleet_lease_lost_total"
+FLEET_LEASE_RENEWALS = "repro_fleet_lease_renewals_total"
+FLEET_FENCED_WRITES = "repro_fleet_fenced_writes_total"
+FLEET_ROUTED = "repro_fleet_routed_total"
+FLEET_WRONG_REPLICA = "repro_fleet_wrong_replica_total"
+
 #: Tree depths are small integers; powers of two resolve every real depth.
 TREE_DEPTH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
 #: Chain wall-times from milliseconds to hours.
@@ -149,6 +158,20 @@ _HELP = {
     RESILIENCE_CHAOS_INJECTED: "Chaos faults injected, by kind",
     RESILIENCE_DURABILITY_ERRORS: (
         "Durability writes that failed and were degraded, by target"
+    ),
+    FLEET_SHARD_QUEUE_DEPTH: (
+        "Live (pending + orphaned) entries per owned queue shard"
+    ),
+    FLEET_LEASE_EPOCH: "Current fencing epoch per owned shard lease",
+    FLEET_LEASE_ACQUIRED: "Shard leases acquired (first claim or takeover)",
+    FLEET_LEASE_LOST: "Shard leases lost to expiry, supersession, or chaos",
+    FLEET_LEASE_RENEWALS: "Successful shard lease heartbeat renewals",
+    FLEET_FENCED_WRITES: (
+        "Consumer-side queue mutations vetoed by the lease fence"
+    ),
+    FLEET_ROUTED: "Submissions routed into an owned shard, by shard",
+    FLEET_WRONG_REPLICA: (
+        "Submissions redirected to another replica (421 wrong_replica)"
     ),
 }
 

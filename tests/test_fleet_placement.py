@@ -1,0 +1,202 @@
+"""Placement: the weighted consistent-hash ring over queue shards.
+
+Two properties carry the fleet's correctness and its paper tie-in:
+
+* **Determinism** — independently constructed producers route a given
+  spec to the same shard (dedup and double-run prevention depend on it).
+* **Model-driven weighting** — with a workload profile, the ring tilts by
+  the Table II machine models: an LLC-bound family shifts toward the
+  big-cache platform, exactly the paper's scheduling signal one level up.
+"""
+
+import pytest
+
+from repro.arch.platforms import BROADWELL, SKYLAKE
+from repro.arch.profile import WorkloadProfile
+from repro.fleet.placement import (
+    FleetBox,
+    FleetPlacement,
+    FleetTopology,
+    WeightedRing,
+)
+from repro.serve.job import JobSpec
+
+
+def spec(seed=0, workload="votes"):
+    return JobSpec(
+        workload=workload, engine="mh", n_iterations=40, n_chains=2, seed=seed
+    )
+
+
+def two_box_topology(n_shards=4):
+    return FleetTopology(
+        n_shards=n_shards,
+        boxes=(
+            FleetBox("fast", "skylake", "http://fast", (0, 1)),
+            FleetBox("bigcache", "broadwell", "http://big", (2, 3)),
+        ),
+    )
+
+
+def llc_bound_profile(name="synthetic"):
+    """A family whose working set blows Skylake's 8MB LLC but fits
+    Broadwell's 40MB."""
+    return WorkloadProfile(
+        name=name,
+        modeled_data_bytes=24_000_000,
+        modeled_data_points=500_000,
+        dim=8,
+        code_footprint_bytes=200_000,
+        tape_nodes=2_000,
+        tape_bytes=96_000,
+        tape_intermediate_bytes=32_000,
+        tape_gather_bytes=1_200_000,
+        work_per_iteration=50.0,
+        work_std_across_chains=1.0,
+        default_iterations=400,
+        default_warmup=200,
+        default_chains=4,
+    )
+
+
+class TestTopology:
+    def test_assignments_must_partition_the_shards(self):
+        with pytest.raises(ValueError, match="assigned to both"):
+            FleetTopology(2, (
+                FleetBox("a", shards=(0, 1)), FleetBox("b", shards=(1,)),
+            ))
+        with pytest.raises(ValueError, match="assigned to no box"):
+            FleetTopology(3, (FleetBox("a", shards=(0, 1)),))
+        with pytest.raises(ValueError, match="outside"):
+            FleetTopology(2, (FleetBox("a", shards=(0, 5)),))
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ValueError, match="unknown platform"):
+            FleetBox("a", platform="epyc")
+
+    def test_roundtrip_through_json(self, tmp_path):
+        topology = two_box_topology()
+        path = tmp_path / "fleet.json"
+        topology.save(path)
+        assert FleetTopology.load(path) == topology
+
+    def test_single_box_owns_everything(self):
+        topology = FleetTopology.single_box(3, replica_id="solo")
+        assert topology.boxes[0].shards == (0, 1, 2)
+        assert topology.box_for_shard(2).replica_id == "solo"
+
+    def test_lookup_helpers(self):
+        topology = two_box_topology()
+        assert topology.box_for_shard(2).replica_id == "bigcache"
+        assert topology.url_for("fast") == "http://fast"
+        assert topology.url_for("nobody") is None
+        assert topology.url_for(None) is None
+
+
+class TestRing:
+    def test_lookup_is_deterministic(self):
+        a = WeightedRing({0: 1.0, 1: 1.0, 2: 1.0})
+        b = WeightedRing({0: 1.0, 1: 1.0, 2: 1.0})
+        keys = [f"key-{i}" for i in range(100)]
+        assert [a.lookup(k) for k in keys] == [b.lookup(k) for k in keys]
+
+    def test_uniform_weights_spread_keys(self):
+        ring = WeightedRing({s: 1.0 for s in range(4)})
+        counts = {s: 0 for s in range(4)}
+        for i in range(2000):
+            counts[ring.lookup(f"key-{i}")] += 1
+        for shard, count in counts.items():
+            assert count > 200, f"shard {shard} starved: {counts}"
+
+    def test_heavier_shard_draws_more_keys(self):
+        ring = WeightedRing({0: 4.0, 1: 1.0})
+        hits = sum(ring.lookup(f"key-{i}") == 0 for i in range(4000))
+        assert hits > 2600  # ~4/5 of the keys, with hashing slack
+
+    def test_degenerate_weights_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedRing({})
+        with pytest.raises(ValueError, match="positive"):
+            WeightedRing({0: 0.0})
+
+
+class TestPlacement:
+    def test_independent_producers_agree(self):
+        """The dedup keystone: every producer, same spec, same shard."""
+        topology = two_box_topology()
+        a, b = FleetPlacement(topology), FleetPlacement(topology)
+        for seed in range(50):
+            s = spec(seed)
+            assert a.shard_for(s) == b.shard_for(s)
+
+    def test_identical_specs_identical_shard(self):
+        placement = FleetPlacement(two_box_topology())
+        assert placement.shard_for(spec(7)) == placement.shard_for(spec(7))
+
+    def test_static_weight_is_frequency_times_ipc(self):
+        placement = FleetPlacement(two_box_topology())
+        fast, big = placement.topology.boxes
+        assert placement.box_weight(fast, None) == pytest.approx(
+            SKYLAKE.turbo_ghz * SKYLAKE.base_ipc
+        )
+        assert placement.box_weight(big, None) == pytest.approx(
+            BROADWELL.turbo_ghz * BROADWELL.base_ipc
+        )
+
+    def test_llc_bound_profile_shifts_toward_big_cache(self):
+        """The paper's scheduling signal, fleet-level: a family whose
+        working set misses on the small-LLC part tilts the ring toward
+        the big-cache box relative to the profile-free baseline."""
+        topology = two_box_topology()
+        profile = llc_bound_profile("heavy")
+        keys = [spec(i, workload="votes").key() for i in range(800)]
+
+        blind = FleetPlacement(topology)
+        blind_share = blind.share_by_box(keys).get("bigcache", 0.0)
+
+        informed = FleetPlacement(topology, profiles={"heavy": profile})
+        informed_share = informed.share_by_box(keys, workload="heavy").get(
+            "bigcache", 0.0
+        )
+        assert informed_share > blind_share
+
+        # And the machine model agrees with the ring: the profile's
+        # predicted throughput ratio favors Broadwell more than the
+        # static frequency x IPC proxy does.
+        fast, big = topology.boxes
+        static_ratio = (
+            blind.box_weight(big, None) / blind.box_weight(fast, None)
+        )
+        informed_ratio = (
+            informed.box_weight(big, profile)
+            / informed.box_weight(fast, profile)
+        )
+        assert informed_ratio > static_ratio
+
+    def test_note_profile_rebuilds_the_ring(self):
+        topology = two_box_topology()
+        placement = FleetPlacement(topology)
+        keys = [spec(i, workload="heavy").key() for i in range(400)]
+        before = placement.share_by_box(keys, workload="heavy")
+        placement.note_profile(llc_bound_profile("heavy"))
+        after = placement.share_by_box(keys, workload="heavy")
+        assert after.get("bigcache", 0.0) > before.get("bigcache", 0.0)
+
+    def test_box_weight_splits_across_its_shards(self):
+        """A box's pull is independent of how many shards it hosts."""
+        lopsided = FleetTopology(
+            n_shards=3,
+            boxes=(
+                FleetBox("a", "skylake", shards=(0, 1)),
+                FleetBox("b", "skylake", shards=(2,)),
+            ),
+        )
+        # Extra vnodes tighten the hash variance enough to see the
+        # intended 50/50 split through the noise.
+        placement = FleetPlacement(lopsided, vnodes=512)
+        weights = placement.shard_weights(None)
+        assert weights[0] == weights[1] == pytest.approx(weights[2] / 2)
+        share = placement.share_by_box(
+            [f"key-{i}" for i in range(4000)]
+        )
+        assert share["a"] == pytest.approx(share["b"], abs=0.12)

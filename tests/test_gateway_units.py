@@ -372,3 +372,66 @@ class TestClientRetries:
         assert issubclass(RateLimitedError, GatewayError)
         assert issubclass(GatewayUnavailable, GatewayError)
         assert issubclass(InvalidRequestError, GatewayError)
+
+
+class TestBackoffJitter:
+    """The client's retry sleeps are jittered downward (satellite of the
+    fleet PR): N clients that saw the same failure must not retry in
+    lockstep, and no jittered sleep may exceed the unjittered schedule."""
+
+    POLICY = RetryPolicy(max_attempts=4, base_backoff=0.1, max_backoff=5.0)
+
+    def _recorded_sleeps(self, monkeypatch, client):
+        sleeps = []
+        monkeypatch.setattr("time.sleep", sleeps.append)
+        with pytest.raises(GatewayUnavailable):
+            client.healthz()
+        return sleeps
+
+    def test_zero_jitter_reproduces_the_exact_schedule(self, monkeypatch):
+        client = GatewayClient(
+            "http://127.0.0.1:9", retry_policy=self.POLICY,
+            timeout=0.5, backoff_jitter=0.0,
+        )
+        sleeps = self._recorded_sleeps(monkeypatch, client)
+        expected = [
+            self.POLICY.backoff("transient", n)
+            for n in range(1, self.POLICY.max_attempts)
+        ]
+        assert sleeps == expected
+
+    def test_jittered_sleeps_stay_within_bounds(self, monkeypatch):
+        import random
+
+        client = GatewayClient(
+            "http://127.0.0.1:9", retry_policy=self.POLICY, timeout=0.5,
+            backoff_jitter=0.5, rng=random.Random(7),
+        )
+        sleeps = self._recorded_sleeps(monkeypatch, client)
+        assert len(sleeps) == self.POLICY.max_attempts - 1
+        for attempt, slept in enumerate(sleeps, start=1):
+            full = self.POLICY.backoff("transient", attempt)
+            assert 0.5 * full <= slept <= full
+            # Vanishingly unlikely to land exactly on either bound.
+            assert slept != full
+
+    def test_seeded_clients_desynchronize(self, monkeypatch):
+        import random
+
+        schedules = []
+        for seed in range(5):
+            client = GatewayClient(
+                "http://127.0.0.1:9", retry_policy=self.POLICY, timeout=0.5,
+                backoff_jitter=0.5, rng=random.Random(seed),
+            )
+            schedules.append(
+                tuple(self._recorded_sleeps(monkeypatch, client))
+            )
+        # Every client slept a different schedule: the herd is broken.
+        assert len(set(schedules)) == len(schedules)
+
+    def test_invalid_jitter_rejected(self):
+        with pytest.raises(ValueError, match="backoff_jitter"):
+            GatewayClient("http://127.0.0.1:9", backoff_jitter=1.5)
+        with pytest.raises(ValueError, match="backoff_jitter"):
+            GatewayClient("http://127.0.0.1:9", backoff_jitter=-0.1)
