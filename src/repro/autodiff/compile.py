@@ -29,6 +29,7 @@ every evaluation on the interpreted path.
 from __future__ import annotations
 
 import os
+import threading
 import warnings
 from contextlib import contextmanager
 from time import perf_counter
@@ -466,6 +467,16 @@ class CompiledFunction:
     ``stats`` counts cache misses (``records``), hits (``replays``),
     interpreted evaluations after giving up (``fallbacks``), bitwise
     cross-checks (``validations``) and cumulative ``replay_seconds``.
+
+    **Thread safety.** A replay writes into the tape's preallocated
+    forward/adjoint buffers, so two threads replaying the same
+    ``CompiledFunction`` concurrently would alias each other's
+    intermediate values and return silently corrupted gradients. Every
+    call therefore serializes on an internal lock — correctness over
+    parallel throughput at this seam. Cross-*chain* parallelism belongs
+    either in separate processes (``repro.serve`` workers, one model and
+    tape per process) or in :mod:`repro.batch`, whose lanes give every
+    chain its own buffer row inside one evaluation.
     """
 
     def __init__(
@@ -481,6 +492,9 @@ class CompiledFunction:
             VALIDATE_CALLS if validate_calls is None else validate_calls
         )
         self._record_count = 0
+        # Serializes record/replay/validation: tape buffers are per-tape,
+        # not per-caller (see the class docstring).
+        self._lock = threading.RLock()
         self.stats = {
             "records": 0,
             "replays": 0,
@@ -495,7 +509,10 @@ class CompiledFunction:
         return self._broken
 
     def __call__(self, x: np.ndarray) -> Tuple[float, np.ndarray]:
-        x = np.asarray(x, dtype=float)
+        with self._lock:
+            return self._call_locked(np.asarray(x, dtype=float))
+
+    def _call_locked(self, x: np.ndarray) -> Tuple[float, np.ndarray]:
         if self._broken is not None or not _ENABLED:
             self.stats["fallbacks"] += 1
             leaf, root = _trace(self._fn, x)

@@ -1,0 +1,91 @@
+"""repro.batch — cross-chain vectorized tape replay with speculative prefetch.
+
+The paper's bottom line is that MCMC throughput is bounded by per-iteration
+``logp``+gradient evaluations. :mod:`repro.autodiff.compile` removed the
+graph-rebuild overhead from a *single* evaluation; this subsystem removes
+the per-*chain* dispatch overhead: every chain of a job (and same-shape
+chains across queued jobs) shares the compiled tape's structure exactly, so
+their states can be stacked along a leading batch axis and replayed as one
+batched numpy evaluation per instruction instead of one per chain.
+
+Three layers:
+
+* :mod:`repro.batch.engine` — :class:`BatchedTape` (the batch-axis replay
+  engine over :data:`repro.autodiff.ops.KERNELS`, with per-instruction
+  vector/lane modes and runtime bit-identity calibration) and
+  :class:`BatchedEvaluator` (the model-facing wrapper that acquires the
+  solo tape, falls back per lane when compilation is unavailable, and
+  reproduces ``Model.compiled_logp_and_grad`` semantics per lane).
+* :mod:`repro.batch.lanes` + :mod:`repro.batch.prefetch` — the lane
+  scheduler (admit/retire chains mid-run) and the speculation pool
+  (validated prefetch of predicted next-trajectory states).
+* :mod:`repro.batch.driver` — the round loop that holds one suspended
+  sampler step generator per chain (see :mod:`repro.inference.stepper`),
+  answers all pending requests with one batched evaluation, and exposes
+  :func:`run_chains_batched` as the batched counterpart of
+  :func:`repro.inference.run_chains`.
+
+Everything here is bit-identical to the solo compiled-tape path by
+construction and by runtime calibration; see ``docs/batching.md``.
+
+Kill switch: set ``REPRO_BATCH=0`` (or call :func:`disable`) to keep every
+executor on the solo per-chain path.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from repro.batch.driver import BatchedChainDriver, run_chains_batched
+from repro.batch.engine import BatchedEvaluator, BatchedTape
+from repro.batch.lanes import LaneScheduler
+from repro.batch.prefetch import SpeculationPool
+
+__all__ = [
+    "BatchedChainDriver",
+    "BatchedEvaluator",
+    "BatchedTape",
+    "LaneScheduler",
+    "SpeculationPool",
+    "run_chains_batched",
+    "enabled",
+    "enable",
+    "disable",
+    "override",
+]
+
+
+def _env_enabled() -> bool:
+    raw = os.environ.get("REPRO_BATCH", "1").strip().lower()
+    return raw not in ("0", "false", "off", "no")
+
+
+_ENABLED = _env_enabled()
+
+
+def enabled() -> bool:
+    """True when batched replay is globally enabled."""
+    return _ENABLED
+
+
+def enable() -> None:
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    global _ENABLED
+    _ENABLED = False
+
+
+@contextmanager
+def override(value: bool):
+    """Temporarily force batched replay on or off (tests, benchmarks)."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(value)
+    try:
+        yield
+    finally:
+        _ENABLED = previous

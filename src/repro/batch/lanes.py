@@ -1,0 +1,108 @@
+"""Lane scheduling: which chain occupies which row of the batch axis.
+
+A :class:`LaneScheduler` owns a fixed number of *lanes* (rows of the
+batched tape's buffers). Chains are submitted in FIFO order and admitted
+whenever a lane is free — at startup, and **mid-run** whenever another
+chain retires early (elision stops, deadlines, escalations, plain
+completion all surface as the chain's step generator returning). That is
+what lets a serve worker keep the batch axis full across queued jobs of
+the same shape instead of draining one job before starting the next.
+
+Occupancy accounting feeds the ``repro_batch_*`` telemetry: a *round* is
+one batched evaluation; occupancy is occupied-lane-rounds over
+``width × rounds``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["LaneScheduler"]
+
+
+class LaneScheduler:
+    """Admit and retire chains over a fixed set of batch lanes."""
+
+    def __init__(self, width: int) -> None:
+        if width < 1:
+            raise ValueError("lane width must be at least 1")
+        self.width = int(width)
+        self._lanes: List[Optional[object]] = [None] * self.width
+        self._queue: deque = deque()
+        self.rounds = 0
+        self.occupied_lane_rounds = 0
+        self.admitted = 0
+        self.retired = 0
+
+    # -- submission and admission ---------------------------------------------
+
+    def submit(self, chain: object) -> None:
+        """Queue a chain for admission at the next free lane."""
+        self._queue.append(chain)
+
+    def admit(self) -> List[Tuple[int, object]]:
+        """Move queued chains into free lanes; returns new (lane, chain)s."""
+        placed = []
+        for index in range(self.width):
+            if not self._queue:
+                break
+            if self._lanes[index] is None:
+                chain = self._queue.popleft()
+                self._lanes[index] = chain
+                self.admitted += 1
+                placed.append((index, chain))
+        return placed
+
+    def retire(self, index: int) -> None:
+        """Free a lane whose chain finished (or was retired early)."""
+        if self._lanes[index] is None:
+            raise ValueError(f"lane {index} is not occupied")
+        self._lanes[index] = None
+        self.retired += 1
+
+    # -- introspection --------------------------------------------------------
+
+    def active(self) -> Iterator[Tuple[int, object]]:
+        """(lane index, chain) for every occupied lane."""
+        for index, chain in enumerate(self._lanes):
+            if chain is not None:
+                yield index, chain
+
+    def free_lanes(self) -> List[int]:
+        """Lane indices currently unoccupied (speculation candidates)."""
+        return [i for i, chain in enumerate(self._lanes) if chain is None]
+
+    @property
+    def n_active(self) -> int:
+        return sum(1 for lane in self._lanes if lane is not None)
+
+    @property
+    def n_queued(self) -> int:
+        return len(self._queue)
+
+    @property
+    def idle(self) -> bool:
+        """No chain occupies a lane and none is waiting."""
+        return self.n_active == 0 and not self._queue
+
+    def note_round(self, occupied: int) -> None:
+        """Record one batched round with ``occupied`` busy lanes."""
+        self.rounds += 1
+        self.occupied_lane_rounds += occupied
+
+    def occupancy(self) -> float:
+        """Mean fraction of lanes doing real chain work per round."""
+        if self.rounds == 0:
+            return 0.0
+        return self.occupied_lane_rounds / (self.rounds * self.width)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Plain-data stats for telemetry and reports."""
+        return {
+            "width": self.width,
+            "rounds": self.rounds,
+            "admitted": self.admitted,
+            "retired": self.retired,
+            "occupancy": self.occupancy(),
+        }

@@ -1,0 +1,110 @@
+"""Speculative trajectory prefetching: fill idle lanes with predicted work.
+
+"Accelerating MCMC via Parallel Predictive Prefetching" (PAPERS.md) showed
+that spare parallel width can be spent computing *likely* future states and
+discarding mispredictions. Here the prediction comes from the sampler
+itself: HMC's step generator attaches a
+:class:`~repro.inference.stepper.SpeculationPlan` to the last leapfrog
+request of a trajectory — the rejection branch of the next iteration is
+fully determined at that point (position *and* the RNG state the sampler
+will hold when asking). The pool holds at most one plan and one fulfilled
+prefetch per chain.
+
+The validity rule is deliberately conservative and exact: a fulfilled
+prefetch answers a later request only when the requested position is
+bit-equal to the predicted one **and** the chain RNG's bit-generator state
+equals the predicted state. Because evaluation is a pure function of the
+position and consumes no randomness, a validated hit returns exactly what
+the evaluator would have returned — speculation can only skip work, never
+change a draw. Anything else counts as a miss and is discarded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.inference.stepper import SpeculationPlan
+
+__all__ = ["SpeculationPool", "rng_states_equal"]
+
+
+def rng_states_equal(a, b) -> bool:
+    """Deep equality of two ``bit_generator.state`` dicts.
+
+    States are nested dicts of ints, strings, and (for some bit
+    generators) numpy arrays; plain ``==`` would be ambiguous on arrays.
+    """
+    if isinstance(a, dict):
+        if not isinstance(b, dict) or a.keys() != b.keys():
+            return False
+        return all(rng_states_equal(a[k], b[k]) for k in a)
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.array_equal(a, b)
+    return a == b
+
+
+class SpeculationPool:
+    """Plans awaiting evaluation and fulfilled prefetches awaiting a match."""
+
+    def __init__(self) -> None:
+        self._plans: Dict[object, SpeculationPlan] = {}
+        self._ready: Dict[object, Tuple[SpeculationPlan, float, np.ndarray]] = {}
+        self.filled = 0
+        self.hits = 0
+        self.misses = 0
+
+    def register(self, key: object, plan: SpeculationPlan) -> None:
+        """A chain predicted its next request; queue it for an idle lane."""
+        self._plans[key] = plan
+
+    def claim(self, n: int) -> List[Tuple[object, SpeculationPlan]]:
+        """Take up to ``n`` queued plans to evaluate on idle lanes."""
+        out = []
+        while self._plans and len(out) < n:
+            key, plan = self._plans.popitem()
+            out.append((key, plan))
+        return out
+
+    def fulfil(self, key: object, plan: SpeculationPlan,
+               value: float, grad: np.ndarray) -> None:
+        """Store a speculatively computed result for ``key``."""
+        self._ready[key] = (plan, value, grad)
+        self.filled += 1
+
+    def consume(
+        self, key: object, x: np.ndarray, rng: np.random.Generator
+    ) -> Optional[Tuple[float, np.ndarray]]:
+        """The prefetched answer for this request, if the prediction held.
+
+        Consumes the stored entry either way; counts a hit or a miss.
+        Returns None when there is nothing stored for ``key``.
+        """
+        entry = self._ready.pop(key, None)
+        if entry is None:
+            return None
+        plan, value, grad = entry
+        if np.array_equal(np.asarray(x), np.asarray(plan.x)) and (
+            rng_states_equal(rng.bit_generator.state, plan.rng_state)
+        ):
+            self.hits += 1
+            return value, grad
+        self.misses += 1
+        return None
+
+    def drop_pending(self, key: object) -> None:
+        """Drop an unevaluated plan (the request it predicted has passed)."""
+        self._plans.pop(key, None)
+
+    def forget(self, key: object) -> None:
+        """Drop all speculation state for a retired chain."""
+        self._plans.pop(key, None)
+        self._ready.pop(key, None)
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "filled": self.filled,
+            "hits": self.hits,
+            "misses": self.misses,
+        }

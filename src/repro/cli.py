@@ -51,6 +51,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--scale", type=float, default=0.5)
     run.add_argument("--engine", choices=("nuts", "hmc", "mh"), default="nuts")
+    run.add_argument("--batch", action="store_true",
+                     help="replay all chains as one batched tape evaluation "
+                          "per round (gradient engines only; draws stay "
+                          "bit-identical to the solo path)")
+    run.add_argument("--batch-width", type=int, default=None, metavar="B",
+                     help="lanes in the batched replay (default: one per "
+                          "chain; extra lanes host speculative prefetch)")
     run.add_argument("--max-params", type=int, default=12,
                      help="summary rows to print")
 
@@ -272,10 +279,54 @@ def cmd_run(args) -> None:
     from repro.suite import load_workload
 
     model = load_workload(args.workload, scale=args.scale)
-    print(f"sampling {model.name} (dim={model.dim}) with {args.engine}...")
-    result = run_chains(model, _engine(args.engine),
-                        n_iterations=args.iterations,
-                        n_chains=args.chains, seed=args.seed)
+    if getattr(args, "batch", False):
+        from repro import batch
+        from repro.batch.driver import BatchedChainDriver
+        from repro.batch.engine import BatchedEvaluator
+        from repro.inference.chain import chain_start
+        from repro.inference.results import SamplingResult
+
+        if args.engine == "mh":
+            raise SystemExit(
+                "--batch needs a gradient engine (hmc or nuts); "
+                "mh has no tape to batch"
+            )
+        if not batch.enabled():
+            raise SystemExit("--batch requested but REPRO_BATCH=0")
+        sampler = _engine(args.engine)
+        width = args.batch_width or args.chains
+        print(f"sampling {model.name} (dim={model.dim}) with {args.engine} "
+              f"[batched, {width} lanes]...")
+        evaluator = BatchedEvaluator(model, width)
+        driver = BatchedChainDriver(evaluator)
+        for chain_index in range(args.chains):
+            rng, x0 = chain_start(model, args.seed, chain_index, 1.0)
+            driver.submit(
+                chain_index,
+                sampler.sample_steps(x0, args.iterations, rng, speculate=True),
+                rng,
+            )
+        chains = driver.run()
+        result = SamplingResult(
+            model_name=model.name,
+            chains=[chains[c] for c in range(args.chains)],
+            param_names=model.flat_param_names(),
+        )
+        stats = driver.snapshot()
+        hit_line = ""
+        if stats.get("filled"):
+            hit_line = (f"   speculation: {stats['hits']}/{stats['filled']} "
+                        "fills hit")
+        print(f"batched rounds: {stats['batched_rounds']}   "
+              f"occupancy: {100 * stats['occupancy']:.0f}%   "
+              f"vectorized instructions: "
+              f"{stats.get('vector_instructions', 0)}"
+              f"{hit_line}")
+    else:
+        print(f"sampling {model.name} (dim={model.dim}) with {args.engine}...")
+        result = run_chains(model, _engine(args.engine),
+                            n_iterations=args.iterations,
+                            n_chains=args.chains, seed=args.seed)
     draws = result.stacked()
     print(f"R-hat (worst): {max_rhat(draws):.3f}   "
           f"divergences: {result.divergences}   "

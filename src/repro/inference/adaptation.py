@@ -134,20 +134,26 @@ class WelfordVariance:
         return welford
 
 
-def find_reasonable_step_size(logp_and_grad, x0: np.ndarray, rng: np.random.Generator,
-                              inv_mass: np.ndarray) -> float:
-    """Heuristic initial step size (Hoffman & Gelman, Algorithm 4).
+def find_reasonable_step_size_steps(x0: np.ndarray, rng: np.random.Generator,
+                                    inv_mass: np.ndarray):
+    """Step-generator form of :func:`find_reasonable_step_size`.
 
-    Doubles/halves the step until one leapfrog step's acceptance crosses 0.5.
+    Yields each position whose gradient it needs (the probe point and one
+    leapfrog step per doubling/halving) and receives ``(logp, grad)`` via
+    ``send``; see :mod:`repro.inference.stepper`. Consumes the RNG stream
+    identically to the classic function, which is now a thin driver over
+    this generator.
     """
-    from repro.inference.hmc import leapfrog, kinetic_energy
+    from repro.inference.hmc import kinetic_energy, leapfrog_steps
 
     step = 1.0
-    logp0, grad0 = logp_and_grad(x0)
+    logp0, grad0 = yield x0
     momentum = rng.normal(size=x0.shape) / np.sqrt(inv_mass)
     joint0 = logp0 - kinetic_energy(momentum, inv_mass)
 
-    x1, p1, logp1, grad1, _ = leapfrog(logp_and_grad, x0, momentum, grad0, step, inv_mass)
+    x1, p1, logp1, grad1, _ = yield from leapfrog_steps(
+        x0, momentum, grad0, step, inv_mass
+    )
     joint1 = logp1 - kinetic_energy(p1, inv_mass)
     if not np.isfinite(joint1):
         joint1 = -np.inf
@@ -155,8 +161,8 @@ def find_reasonable_step_size(logp_and_grad, x0: np.ndarray, rng: np.random.Gene
 
     for _ in range(50):
         step *= 2.0 ** direction
-        x1, p1, logp1, grad1, _ = leapfrog(
-            logp_and_grad, x0, momentum, grad0, step, inv_mass
+        x1, p1, logp1, grad1, _ = yield from leapfrog_steps(
+            x0, momentum, grad0, step, inv_mass
         )
         joint1 = logp1 - kinetic_energy(p1, inv_mass)
         if not np.isfinite(joint1):
@@ -164,3 +170,16 @@ def find_reasonable_step_size(logp_and_grad, x0: np.ndarray, rng: np.random.Gene
         if direction * (joint1 - joint0) <= direction * np.log(0.5):
             break
     return float(np.clip(step, 1e-8, 1e3))
+
+
+def find_reasonable_step_size(logp_and_grad, x0: np.ndarray, rng: np.random.Generator,
+                              inv_mass: np.ndarray) -> float:
+    """Heuristic initial step size (Hoffman & Gelman, Algorithm 4).
+
+    Doubles/halves the step until one leapfrog step's acceptance crosses 0.5.
+    """
+    from repro.inference.stepper import drive_steps
+
+    return drive_steps(
+        find_reasonable_step_size_steps(x0, rng, inv_mass), logp_and_grad
+    )

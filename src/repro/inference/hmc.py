@@ -4,6 +4,13 @@ The paper reports HMC's single-core characteristics as "very similar to
 NUTS" (Section IV-A); this engine exists both for that comparison bench and
 as the shared substrate (leapfrog integrator, kinetic energy, warmup
 adaptation) on which NUTS builds.
+
+The iteration logic lives in :meth:`HMC.sample_steps`, a resumable step
+generator (see :mod:`repro.inference.stepper`): it yields each position it
+needs a gradient for and receives the result via ``send``.
+:meth:`HMC.sample_chain` drives it sequentially — bit-identical to the
+classic inline loop — while :mod:`repro.batch` drives many chains' step
+generators against one batched tape replay.
 """
 
 from __future__ import annotations
@@ -16,10 +23,11 @@ import numpy as np
 from repro.inference.adaptation import (
     DualAveraging,
     WelfordVariance,
-    find_reasonable_step_size,
+    find_reasonable_step_size_steps,
 )
 from repro.inference.chain import model_logp_and_grad, restore_sampler_prefix
 from repro.inference.results import ChainResult, IterationHook, StateCapture
+from repro.inference.stepper import EvalRequest, SpeculationPlan, drive_steps
 
 LogpGrad = Callable[[np.ndarray], Tuple[float, np.ndarray]]
 
@@ -34,6 +42,28 @@ def kinetic_energy(momentum: np.ndarray, inv_mass: np.ndarray) -> float:
         return float(0.5 * np.sum(momentum * momentum * inv_mass))
 
 
+def leapfrog_steps(
+    x: np.ndarray,
+    momentum: np.ndarray,
+    grad: np.ndarray,
+    step_size: float,
+    inv_mass: np.ndarray,
+    plan: "SpeculationPlan | None" = None,
+):
+    """Step-generator form of one leapfrog step.
+
+    Yields the new position (wrapped in an :class:`EvalRequest` when a
+    speculation ``plan`` rides along) and receives its ``(logp, grad)``;
+    returns ``(x', p', logp', grad', n_gradient_evals)``.
+    """
+    p_half = momentum + 0.5 * step_size * grad
+    x_new = x + step_size * inv_mass * p_half
+    request = x_new if plan is None else EvalRequest(x_new, plan)
+    logp_new, grad_new = yield request
+    p_new = p_half + 0.5 * step_size * grad_new
+    return x_new, p_new, logp_new, grad_new, 1
+
+
 def leapfrog(
     logp_and_grad: LogpGrad,
     x: np.ndarray,
@@ -43,11 +73,39 @@ def leapfrog(
     inv_mass: np.ndarray,
 ) -> Tuple[np.ndarray, np.ndarray, float, np.ndarray, int]:
     """One leapfrog step; returns (x', p', logp', grad', n_gradient_evals)."""
-    p_half = momentum + 0.5 * step_size * grad
-    x_new = x + step_size * inv_mass * p_half
-    logp_new, grad_new = logp_and_grad(x_new)
-    p_new = p_half + 0.5 * step_size * grad_new
-    return x_new, p_new, logp_new, grad_new, 1
+    return drive_steps(
+        leapfrog_steps(x, momentum, grad, step_size, inv_mass), logp_and_grad
+    )
+
+
+def _reject_plan(
+    x: np.ndarray,
+    grad: np.ndarray,
+    step: float,
+    inv_mass: np.ndarray,
+    rng: np.random.Generator,
+    dim: int,
+) -> SpeculationPlan:
+    """Predict the next iteration's first leapfrog position if we reject.
+
+    On rejection the chain keeps ``x``/``grad``, so the only unknowns in
+    the next first leapfrog step are the RNG draws: the accept-test uniform
+    (whose *outcome* we are betting on, but whose stream consumption is the
+    same either way) and the momentum refresh. Forking the bit generator
+    lets us replay both draws without touching the real stream. Post-warmup
+    the step size and metric are frozen, so the prediction is exact — and
+    the accept branch consumes the identical RNG sequence, which is why the
+    plan's validity rule must check the position, not just the RNG state.
+    """
+    fork_bg = type(rng.bit_generator)()
+    fork_bg.state = rng.bit_generator.state
+    fork = np.random.Generator(fork_bg)
+    fork.uniform()  # the accept test of the current iteration
+    momentum = fork.normal(size=dim) / np.sqrt(inv_mass)
+    # Mirror leapfrog_steps' position update expression exactly.
+    p_half = momentum + 0.5 * step * grad
+    x_pred = x + step * inv_mass * p_half
+    return SpeculationPlan(x=x_pred, rng_state=fork.bit_generator.state)
 
 
 @dataclass
@@ -69,10 +127,37 @@ class HMC:
         state_capture: StateCapture | None = None,
         resume_state: dict | None = None,
     ) -> ChainResult:
+        return drive_steps(
+            self.sample_steps(
+                x0, n_iterations, rng, n_warmup=n_warmup,
+                iteration_hook=iteration_hook, state_capture=state_capture,
+                resume_state=resume_state,
+            ),
+            model_logp_and_grad(model),
+        )
+
+    def sample_steps(
+        self,
+        x0: np.ndarray,
+        n_iterations: int,
+        rng: np.random.Generator,
+        n_warmup: int | None = None,
+        iteration_hook: IterationHook = None,
+        state_capture: StateCapture | None = None,
+        resume_state: dict | None = None,
+        speculate: bool = False,
+    ):
+        """The chain as a step generator; returns the :class:`ChainResult`.
+
+        With ``speculate=True`` the generator attaches a
+        :class:`SpeculationPlan` to each post-warmup trajectory's final
+        leapfrog request — the rejection branch of the next iteration is
+        fully determined at that point (see :func:`_reject_plan`), so a
+        batched driver can prefetch it on an idle lane.
+        """
         if n_warmup is None:
             n_warmup = n_iterations // 2
         dim = x0.shape[0]
-        logp_and_grad = model_logp_and_grad(model)
 
         samples = np.empty((n_iterations, dim))
         logps = np.empty(n_iterations)
@@ -95,11 +180,11 @@ class HMC:
         else:
             start = 0
             inv_mass = np.ones(dim)
-            step = find_reasonable_step_size(logp_and_grad, x0, rng, inv_mass)
+            step = yield from find_reasonable_step_size_steps(x0, rng, inv_mass)
             adapter = DualAveraging(step, target=self.target_accept)
             welford = WelfordVariance(dim)
             x = np.asarray(x0, dtype=float).copy()
-            logp, grad = logp_and_grad(x)
+            logp, grad = yield x
             accepts = 0
             divergences = 0
 
@@ -132,9 +217,17 @@ class HMC:
             x_prop, p_prop, logp_prop, grad_prop = x, momentum, logp, grad
             evals = 1  # count the initial state's cached evaluation as free; 1 for bookkeeping
             diverged = False
-            for _ in range(self.n_leapfrog):
-                x_prop, p_prop, logp_prop, grad_prop, n_evals = leapfrog(
-                    logp_and_grad, x_prop, p_prop, grad_prop, step, inv_mass
+            for k in range(self.n_leapfrog):
+                plan = None
+                if (
+                    speculate
+                    and k == self.n_leapfrog - 1
+                    and t > n_warmup
+                    and t + 1 < n_iterations
+                ):
+                    plan = _reject_plan(x, grad, step, inv_mass, rng, dim)
+                x_prop, p_prop, logp_prop, grad_prop, n_evals = yield from (
+                    leapfrog_steps(x_prop, p_prop, grad_prop, step, inv_mass, plan)
                 )
                 evals += n_evals
                 if not np.isfinite(logp_prop):
@@ -168,8 +261,8 @@ class HMC:
                         inv_mass = welford.variance()
                         welford.reset()
                         # Restart step-size adaptation under the new metric.
-                        step = find_reasonable_step_size(
-                            logp_and_grad, x, rng, inv_mass
+                        step = yield from find_reasonable_step_size_steps(
+                            x, rng, inv_mass
                         )
                         adapter = DualAveraging(step, target=self.target_accept)
             elif t == n_warmup:

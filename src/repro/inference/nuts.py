@@ -11,6 +11,14 @@ The per-iteration number of leapfrog steps — the quantity that makes NUTS
 iterations "more computationally expensive" but better-mixing than MH (paper
 Section II-B) and that makes chain latencies unequal (Section VI-A) — is
 recorded in ``ChainResult.work_per_iteration``.
+
+Like HMC, the iteration logic is a resumable step generator
+(:meth:`NUTS.sample_steps`, with the tree recursion delegating through
+``yield from``); ``sample_chain`` drives it sequentially and
+:mod:`repro.batch` drives many chains at once. NUTS trajectories interleave
+RNG draws (direction choices, multinomial updates) *between* gradient
+evaluations, so unlike HMC there is no exactly-predictable next position —
+NUTS lanes batch but do not speculate.
 """
 
 from __future__ import annotations
@@ -23,11 +31,12 @@ import numpy as np
 from repro.inference.adaptation import (
     DualAveraging,
     WelfordVariance,
-    find_reasonable_step_size,
+    find_reasonable_step_size_steps,
 )
 from repro.inference.chain import model_logp_and_grad, restore_sampler_prefix
-from repro.inference.hmc import kinetic_energy, leapfrog
+from repro.inference.hmc import kinetic_energy, leapfrog_steps
 from repro.inference.results import ChainResult, IterationHook, StateCapture
+from repro.inference.stepper import drive_steps
 
 LogpGrad = Callable[[np.ndarray], Tuple[float, np.ndarray]]
 
@@ -85,10 +94,35 @@ class NUTS:
         state_capture: StateCapture | None = None,
         resume_state: dict | None = None,
     ) -> ChainResult:
+        return drive_steps(
+            self.sample_steps(
+                x0, n_iterations, rng, n_warmup=n_warmup,
+                iteration_hook=iteration_hook, state_capture=state_capture,
+                resume_state=resume_state,
+            ),
+            model_logp_and_grad(model),
+        )
+
+    def sample_steps(
+        self,
+        x0: np.ndarray,
+        n_iterations: int,
+        rng: np.random.Generator,
+        n_warmup: int | None = None,
+        iteration_hook: IterationHook = None,
+        state_capture: StateCapture | None = None,
+        resume_state: dict | None = None,
+        speculate: bool = False,
+    ):
+        """The chain as a step generator; returns the :class:`ChainResult`.
+
+        ``speculate`` is accepted for interface parity with HMC but has no
+        effect: NUTS draws RNG between evaluations, so no future request is
+        exactly predictable (see the module docstring).
+        """
         if n_warmup is None:
             n_warmup = n_iterations // 2
         dim = x0.shape[0]
-        logp_and_grad = model_logp_and_grad(model)
 
         samples = np.empty((n_iterations, dim))
         logps = np.empty(n_iterations)
@@ -113,11 +147,11 @@ class NUTS:
         else:
             start = 0
             inv_mass = np.ones(dim)
-            step = find_reasonable_step_size(logp_and_grad, x0, rng, inv_mass)
+            step = yield from find_reasonable_step_size_steps(x0, rng, inv_mass)
             adapter = DualAveraging(step, target=self.target_accept)
             welford = WelfordVariance(dim)
             x = np.asarray(x0, dtype=float).copy()
-            logp, grad = logp_and_grad(x)
+            logp, grad = yield x
             divergences = 0
             accept_stat_total = 0.0
 
@@ -165,16 +199,16 @@ class NUTS:
             while keep_going and depth < self.max_tree_depth:
                 direction = 1 if rng.uniform() < 0.5 else -1
                 if direction == -1:
-                    tree = self._build_tree(
-                        logp_and_grad, x_minus, p_minus, grad_minus, log_u,
+                    tree = yield from self._build_tree_steps(
+                        x_minus, p_minus, grad_minus, log_u,
                         direction, depth, step, inv_mass, joint0, rng,
                     )
                     x_minus, p_minus, grad_minus = (
                         tree.x_minus, tree.p_minus, tree.grad_minus,
                     )
                 else:
-                    tree = self._build_tree(
-                        logp_and_grad, x_plus, p_plus, grad_plus, log_u,
+                    tree = yield from self._build_tree_steps(
+                        x_plus, p_plus, grad_plus, log_u,
                         direction, depth, step, inv_mass, joint0, rng,
                     )
                     x_plus, p_plus, grad_plus = (
@@ -224,8 +258,8 @@ class NUTS:
                         # The metric changed: restart step-size adaptation
                         # from a freshly probed step, as Stan's windowed
                         # warmup does.
-                        step = find_reasonable_step_size(
-                            logp_and_grad, x, rng, inv_mass
+                        step = yield from find_reasonable_step_size_steps(
+                            x, rng, inv_mass
                         )
                         adapter = DualAveraging(step, target=self.target_accept)
             elif t == n_warmup:
@@ -257,9 +291,8 @@ class NUTS:
             step_size=step,
         )
 
-    def _build_tree(
+    def _build_tree_steps(
         self,
-        logp_and_grad: LogpGrad,
         x: np.ndarray,
         momentum: np.ndarray,
         grad: np.ndarray,
@@ -270,11 +303,17 @@ class NUTS:
         inv_mass: np.ndarray,
         joint0: float,
         rng: np.random.Generator,
-    ) -> _Tree:
+    ):
+        """Recursive doubling as a step generator; returns the :class:`_Tree`.
+
+        Each leapfrog's gradient evaluation surfaces through ``yield from``,
+        so the whole recursion suspends and resumes around external
+        (possibly batched) evaluations without altering its RNG sequencing.
+        """
         if depth == 0:
             # Base case: one leapfrog step in the chosen direction.
-            x_new, p_new, logp_new, grad_new, n_evals = leapfrog(
-                logp_and_grad, x, momentum, grad, direction * step_size, inv_mass
+            x_new, p_new, logp_new, grad_new, n_evals = yield from leapfrog_steps(
+                x, momentum, grad, direction * step_size, inv_mass
             )
             joint_new = (
                 logp_new - kinetic_energy(p_new, inv_mass)
@@ -294,16 +333,16 @@ class NUTS:
             )
 
         # Recursion: build left and right subtrees.
-        left = self._build_tree(
-            logp_and_grad, x, momentum, grad, log_u, direction, depth - 1,
+        left = yield from self._build_tree_steps(
+            x, momentum, grad, log_u, direction, depth - 1,
             step_size, inv_mass, joint0, rng,
         )
         if not left.keep_going:
             return left
 
         if direction == -1:
-            right = self._build_tree(
-                logp_and_grad, left.x_minus, left.p_minus, left.grad_minus,
+            right = yield from self._build_tree_steps(
+                left.x_minus, left.p_minus, left.grad_minus,
                 log_u, direction, depth - 1, step_size, inv_mass, joint0, rng,
             )
             x_minus, p_minus, grad_minus = (
@@ -311,8 +350,8 @@ class NUTS:
             )
             x_plus, p_plus, grad_plus = left.x_plus, left.p_plus, left.grad_plus
         else:
-            right = self._build_tree(
-                logp_and_grad, left.x_plus, left.p_plus, left.grad_plus,
+            right = yield from self._build_tree_steps(
+                left.x_plus, left.p_plus, left.grad_plus,
                 log_u, direction, depth - 1, step_size, inv_mass, joint0, rng,
             )
             x_plus, p_plus, grad_plus = right.x_plus, right.p_plus, right.grad_plus

@@ -25,6 +25,15 @@ from repro.telemetry.instrument import (
     AMORTIZE_GUIDE_TRAINS,
     AMORTIZE_KHAT,
     AMORTIZE_SERVED,
+    BATCH_CHAINS,
+    BATCH_DEMOTIONS,
+    BATCH_LANE_EVALS,
+    BATCH_ROUNDS,
+    BATCH_SOLO_CALLS,
+    BATCH_SPEC_FILLED,
+    BATCH_SPEC_HITS,
+    BATCH_SPEC_MISSES,
+    BATCH_WIDTH,
     SAMPLER_DIVERGENCES,
     SAMPLER_ITERATIONS,
     SAMPLER_WORK,
@@ -209,6 +218,89 @@ def _amortize_section(snapshot: TelemetrySnapshot) -> List[str]:
     return lines
 
 
+_BATCH_COUNTERS = {
+    BATCH_ROUNDS, BATCH_LANE_EVALS, BATCH_SOLO_CALLS, BATCH_SPEC_FILLED,
+    BATCH_SPEC_HITS, BATCH_SPEC_MISSES, BATCH_DEMOTIONS, BATCH_CHAINS,
+}
+
+
+def _batch_section(snapshot: TelemetrySnapshot) -> List[str]:
+    """Batched-execution provenance, when any chain ran through repro.batch.
+
+    Reports, per (workload, engine): lane occupancy (busy lanes over
+    ``width × rounds``), effective chains per batched call, and the
+    speculation economy (fills, hit rate). Silent when nothing batched —
+    solo runs and ``REPRO_BATCH=0`` leave these counters untouched.
+    """
+    if snapshot.empty:
+        return []
+    per_key: dict = {}
+    for entry in snapshot.metrics.get("counters", []):
+        if entry["name"] not in _BATCH_COUNTERS:
+            continue
+        labels = dict(tuple(pair) for pair in entry["labels"])
+        key = (labels.get("workload", "?"), labels.get("engine", "?"))
+        row = per_key.setdefault(key, {})
+        row[entry["name"]] = row.get(entry["name"], 0.0) + entry["value"]
+    widths: dict = {}
+    for entry in snapshot.metrics.get("gauges", []):
+        if entry["name"] == BATCH_WIDTH:
+            labels = dict(tuple(pair) for pair in entry["labels"])
+            widths[(labels.get("workload", "?"),
+                    labels.get("engine", "?"))] = entry["value"]
+    per_key = {
+        key: row for key, row in per_key.items()
+        if row.get(BATCH_ROUNDS) or row.get(BATCH_SOLO_CALLS)
+    }
+    if not per_key:
+        return []
+
+    lines = ["## Batched execution (measured)", ""]
+    total_chains = sum(r.get(BATCH_CHAINS, 0.0) for r in per_key.values())
+    total_rounds = sum(r.get(BATCH_ROUNDS, 0.0) for r in per_key.values())
+    lines.append(
+        f"{total_chains:.0f} chain(s) ran through the batched replay loop "
+        f"in {total_rounds:.0f} batched evaluation round(s); lane and "
+        "speculation accounting below is per workload/engine."
+    )
+    lines.append("")
+    rows = []
+    for key in sorted(per_key):
+        row = per_key[key]
+        workload, engine = key
+        rounds = row.get(BATCH_ROUNDS, 0.0)
+        lane_evals = row.get(BATCH_LANE_EVALS, 0.0)
+        width = widths.get(key, 0.0)
+        occupancy = (
+            lane_evals / (rounds * width) if rounds and width else 0.0
+        )
+        chains_per_call = lane_evals / rounds if rounds else 0.0
+        filled = row.get(BATCH_SPEC_FILLED, 0.0)
+        hits = row.get(BATCH_SPEC_HITS, 0.0)
+        hit_rate = f"{100 * hits / filled:.0f}%" if filled else "-"
+        rows.append([
+            workload, engine,
+            f"{width:.0f}" if width else "-",
+            f"{rounds:,.0f}",
+            f"{100 * occupancy:.0f}%" if occupancy else "-",
+            f"{chains_per_call:.2f}" if rounds else "-",
+            f"{filled:.0f}",
+            hit_rate,
+            f"{row.get(BATCH_SOLO_CALLS, 0.0):,.0f}",
+            f"{row.get(BATCH_DEMOTIONS, 0.0):.0f}",
+        ])
+    lines.extend([
+        _table(
+            ["workload", "engine", "width", "rounds", "occupancy",
+             "chains/call", "spec fills", "spec hits", "solo calls",
+             "demoted"],
+            rows,
+        ),
+        "",
+    ])
+    return lines
+
+
 def _speedup_table(runner: SuiteRunner) -> tuple[str, float]:
     results = evaluate_overall(runner, detector=ConvergenceDetector())
     rows = []
@@ -277,6 +369,7 @@ def generate_report(
         "(paper: 5.8x).",
         "",
         *_telemetry_section(telemetry_snapshot),
+        *_batch_section(telemetry_snapshot),
         *_amortize_section(telemetry_snapshot),
     ]
     return "\n".join(sections)

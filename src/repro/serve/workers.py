@@ -214,71 +214,30 @@ def _load_resume_state(task: ChainTask) -> Optional[dict]:
     return state
 
 
-def execute_chain(
+def _iteration_hook(
     task: ChainTask,
-    emit: Optional[Callable[[int, np.ndarray], None]] = None,
-    stop_iteration: Optional[Callable[[], int]] = None,
+    capture: StateCapture,
+    checkpoints,
+    chain_telemetry,
+    emit: Optional[Callable[[int, np.ndarray], None]],
+    stop_iteration: Optional[Callable[[], int]],
     heartbeat: Optional[Callable[[], None]] = None,
-    emit_metrics: Optional[Callable[[dict], None]] = None,
-) -> ChainResult:
-    """Run one chain exactly as the sequential driver would.
+    injector=None,
+    clock=None,
+):
+    """The per-iteration hook shared by the worker and the batched paths.
 
-    ``emit(chain_index, kept_block)`` streams post-warmup draws in blocks of
-    ``report_interval``; ``stop_iteration()`` is polled every iteration and a
-    non-negative value stops the chain once ``t + 1`` reaches it;
-    ``heartbeat()`` is called once per iteration so the caller can prove
-    liveness. With ``task.resume_from`` set, the chain restarts from the
-    checkpoint's sampler state and re-emits the restored kept prefix (its
-    draws are bit-identical to the lost run's, so downstream monitors see
-    exactly the stream an uninterrupted run would have produced).
-
-    ``emit_metrics(payload)`` periodically receives cumulative chain
-    statistics (every ``task.metrics_interval`` iterations and once at the
-    end); payloads are cumulative-through-iteration snapshots, so the
-    parent's :class:`~repro.telemetry.instrument.ChainMetricsMerger` can
-    merge them across crashes and resumes without double counting.
+    Streams kept-draw blocks, polls the stop broadcast, checkpoints on the
+    configured cadence, and feeds chain telemetry — identical behavior
+    whether the chain runs in a worker process (:func:`execute_chain`) or
+    as one lane of the in-parent batched driver
+    (:meth:`ChainWorkerPool._run_job_batched`).
     """
-    from repro.serve.checkpoint import CheckpointStore
-    from repro.serve.faults import FaultInjector, _IterationClock
-    from repro.suite import load_workload
-
-    model = load_workload(task.workload, scale=task.scale, seed=task.dataset_seed)
-    sampler = build_engine(task.engine, task.engine_options)
-    rng, x0 = chain_start(model, task.seed, task.chain_index, task.initial_jitter)
-
-    injector = FaultInjector.from_env()
-    clock = _IterationClock()
-    if injector is not None:
-        model = injector.wrap_model(model, task.job_id, task.chain_index, clock)
-
-    # Poison detection at admission to the chain: a non-finite log-density
-    # at the initial position fails every deterministic replay identically,
-    # so fail fast instead of burning the retry budget on sampling.
-    logp0 = model.logp(x0)
-    if not np.isfinite(logp0):
-        raise PoisonChainError(
-            f"job {task.job_id} chain {task.chain_index}: non-finite "
-            f"log-density ({logp0}) at the initial position"
-        )
-
-    checkpoints = (
-        CheckpointStore(task.checkpoint_dir)
-        if task.checkpoint_dir and task.checkpoint_interval > 0
-        else None
-    )
-    capture = StateCapture()
     pending: List[np.ndarray] = []
-    chain_telemetry = (
-        ChainTelemetry(
-            task.workload, task.engine, emit_metrics,
-            flush_interval=task.metrics_interval,
-        )
-        if emit_metrics is not None and task.metrics_interval > 0
-        else None
-    )
 
     def hook(t: int, draw: np.ndarray, stats: Optional[dict] = None) -> bool:
-        clock.t = t + 1
+        if clock is not None:
+            clock.t = t + 1
         if heartbeat is not None:
             heartbeat()
         if injector is not None:
@@ -333,14 +292,19 @@ def execute_chain(
         return not stopping
 
     hook.wants_stats = chain_telemetry is not None
+    return hook
 
-    resume_state = _load_resume_state(task)
-    if resume_state is not None and chain_telemetry is not None:
+
+def _resume_prologue(task: ChainTask, resume_state, chain_telemetry, emit) -> None:
+    """Seed telemetry and re-emit the restored kept prefix on resume."""
+    if resume_state is None:
+        return
+    if chain_telemetry is not None:
         # Reconstruct cumulative stats through the checkpoint so the resumed
         # chain's snapshots carry the same watermark values the lost run's
         # did — the merger then counts the overlap exactly once.
         chain_telemetry.seed_from_resume(resume_state)
-    if resume_state is not None and emit is not None:
+    if emit is not None:
         # The monitor was reset for this chain; replay the restored kept
         # prefix so it sees the same stream an uninterrupted run emits.
         restored = np.asarray(resume_state["samples"])
@@ -348,6 +312,77 @@ def execute_chain(
         kept_prefix = restored[task.n_warmup:start]
         if len(kept_prefix):
             emit(task.chain_index, kept_prefix.copy())
+
+
+def execute_chain(
+    task: ChainTask,
+    emit: Optional[Callable[[int, np.ndarray], None]] = None,
+    stop_iteration: Optional[Callable[[], int]] = None,
+    heartbeat: Optional[Callable[[], None]] = None,
+    emit_metrics: Optional[Callable[[dict], None]] = None,
+) -> ChainResult:
+    """Run one chain exactly as the sequential driver would.
+
+    ``emit(chain_index, kept_block)`` streams post-warmup draws in blocks of
+    ``report_interval``; ``stop_iteration()`` is polled every iteration and a
+    non-negative value stops the chain once ``t + 1`` reaches it;
+    ``heartbeat()`` is called once per iteration so the caller can prove
+    liveness. With ``task.resume_from`` set, the chain restarts from the
+    checkpoint's sampler state and re-emits the restored kept prefix (its
+    draws are bit-identical to the lost run's, so downstream monitors see
+    exactly the stream an uninterrupted run would have produced).
+
+    ``emit_metrics(payload)`` periodically receives cumulative chain
+    statistics (every ``task.metrics_interval`` iterations and once at the
+    end); payloads are cumulative-through-iteration snapshots, so the
+    parent's :class:`~repro.telemetry.instrument.ChainMetricsMerger` can
+    merge them across crashes and resumes without double counting.
+    """
+    from repro.serve.checkpoint import CheckpointStore
+    from repro.serve.faults import FaultInjector, _IterationClock
+    from repro.suite import load_workload
+
+    model = load_workload(task.workload, scale=task.scale, seed=task.dataset_seed)
+    sampler = build_engine(task.engine, task.engine_options)
+    rng, x0 = chain_start(model, task.seed, task.chain_index, task.initial_jitter)
+
+    injector = FaultInjector.from_env()
+    clock = _IterationClock()
+    if injector is not None:
+        model = injector.wrap_model(model, task.job_id, task.chain_index, clock)
+
+    # Poison detection at admission to the chain: a non-finite log-density
+    # at the initial position fails every deterministic replay identically,
+    # so fail fast instead of burning the retry budget on sampling.
+    logp0 = model.logp(x0)
+    if not np.isfinite(logp0):
+        raise PoisonChainError(
+            f"job {task.job_id} chain {task.chain_index}: non-finite "
+            f"log-density ({logp0}) at the initial position"
+        )
+
+    checkpoints = (
+        CheckpointStore(task.checkpoint_dir)
+        if task.checkpoint_dir and task.checkpoint_interval > 0
+        else None
+    )
+    capture = StateCapture()
+    chain_telemetry = (
+        ChainTelemetry(
+            task.workload, task.engine, emit_metrics,
+            flush_interval=task.metrics_interval,
+        )
+        if emit_metrics is not None and task.metrics_interval > 0
+        else None
+    )
+    hook = _iteration_hook(
+        task, capture, checkpoints, chain_telemetry,
+        emit, stop_iteration, heartbeat=heartbeat,
+        injector=injector, clock=clock,
+    )
+
+    resume_state = _load_resume_state(task)
+    _resume_prologue(task, resume_state, chain_telemetry, emit)
 
     chain = sampler.sample_chain(
         model, x0, task.n_iterations, rng,
@@ -632,6 +667,8 @@ class ChainWorkerPool:
         """
         if not tasks:
             return []
+        if self._batchable(tasks):
+            return self._run_job_batched(tasks, on_draws, deadline_at)
         self._ensure_started()
         with self._stop.get_lock():
             self._stop.value = -1
@@ -762,6 +799,212 @@ class ChainWorkerPool:
         if halted:
             raise JobHalted(job_id, ordered)
         if deadline_hit:
+            raise JobDeadlineExceeded(job_id, ordered)
+        return ordered
+
+    # -- batched execution -----------------------------------------------------
+
+    @staticmethod
+    def _batchable(tasks: List[ChainTask]) -> bool:
+        """True when a job's chains can run as one batched replay loop.
+
+        Requirements: the kill switch is on (``REPRO_BATCH=0`` routes every
+        job to the process pool), the engine exposes a step generator
+        (gradient-based HMC/NUTS), the job has at least two chains sharing
+        one model and sampler configuration, and no fault injection is
+        armed (the chaos harness targets worker processes — batched chains
+        run in the parent, so injected faults would silently not fire).
+        """
+        from repro import batch as batch_mod
+        from repro.serve.faults import FaultInjector
+
+        if not batch_mod.enabled() or len(tasks) < 2:
+            return False
+        first = tasks[0]
+        if first.engine not in ("hmc", "nuts") or first.n_iterations < 2:
+            return False
+        if FaultInjector.from_env() is not None:
+            return False
+        return all(
+            task.workload == first.workload
+            and task.scale == first.scale
+            and task.dataset_seed == first.dataset_seed
+            and task.engine == first.engine
+            and task.engine_options == first.engine_options
+            and task.n_iterations == first.n_iterations
+            and task.n_warmup == first.n_warmup
+            and task.seed == first.seed
+            and task.initial_jitter == first.initial_jitter
+            for task in tasks
+        )
+
+    def _run_job_batched(
+        self,
+        tasks: List[ChainTask],
+        on_draws: Optional[Callable[[int, np.ndarray], Optional[int]]],
+        deadline_at: Optional[float],
+    ) -> List[ChainResult]:
+        """Run one job's chains in-parent as one batched replay loop.
+
+        Semantically a drop-in for the process-pool path: same draw
+        streaming, stop broadcast (elision, halt, deadline), checkpoint
+        cadence, resume, poison fail-fast, and error taxonomy — the chains'
+        step generators advance in lockstep against one
+        :class:`~repro.batch.engine.BatchedEvaluator` instead of running in
+        worker processes. Draws are bit-identical either way, because each
+        generator receives exactly the numbers its solo evaluation would
+        have produced.
+        """
+        from repro.batch.driver import BatchedChainDriver
+        from repro.batch.engine import BatchedEvaluator
+        from repro.serve.checkpoint import CheckpointStore
+        from repro.suite import load_workload
+
+        first = tasks[0]
+        job_id = first.job_id
+        model = load_workload(
+            first.workload, scale=first.scale, seed=first.dataset_seed
+        )
+        sampler = build_engine(first.engine, first.engine_options)
+        labels = {"workload": first.workload, "engine": first.engine}
+
+        errors: Dict[int, str] = {}
+        kinds: Dict[int, str] = {}
+        starts: Dict[int, tuple] = {}
+        for task in tasks:
+            rng, x0 = chain_start(
+                model, task.seed, task.chain_index, task.initial_jitter
+            )
+            # Poison fail-fast, as at worker admission: a non-finite
+            # log-density at the initial position recurs on every replay.
+            logp0 = model.logp(x0)
+            if not np.isfinite(logp0):
+                try:
+                    raise PoisonChainError(
+                        f"job {job_id} chain {task.chain_index}: non-finite "
+                        f"log-density ({logp0}) at the initial position"
+                    )
+                except PoisonChainError:
+                    errors[task.chain_index] = traceback.format_exc()
+                    kinds[task.chain_index] = "poison"
+            starts[task.chain_index] = (rng, x0)
+        if errors:
+            raise ChainExecutionError(job_id, errors, kinds)
+
+        started_at = time.monotonic()
+        hard_deadline = started_at + self.job_timeout
+        stop_holder = [-1]
+        flags = {"halted": False, "deadline": False}
+
+        def stop_iteration() -> int:
+            now = time.monotonic()
+            if now > hard_deadline:
+                raise TimeoutError(
+                    f"job {job_id}: not finished within "
+                    f"{self.job_timeout:.0f}s; batched run aborted"
+                )
+            if (
+                stop_holder[0] < 0
+                and not errors
+                and not (flags["halted"] or flags["deadline"])
+            ):
+                if self._halt.is_set():
+                    flags["halted"] = True
+                    stop_holder[0] = 0
+                elif deadline_at is not None and now >= deadline_at:
+                    flags["deadline"] = True
+                    stop_holder[0] = 0
+            return stop_holder[0]
+
+        def emit(chain_index: int, block: np.ndarray) -> None:
+            if on_draws is not None and not errors:
+                stop_at = on_draws(chain_index, block)
+                if stop_at is not None and stop_holder[0] < 0:
+                    stop_holder[0] = int(stop_at)
+
+        def guarded(task: ChainTask, gen, chain_telemetry):
+            """Wrap one chain's step generator with the worker's error and
+            completion accounting; exceptions become poison, not a crash of
+            the whole batched loop."""
+            try:
+                chain = yield from gen
+            except TimeoutError:
+                raise
+            except Exception:
+                errors[task.chain_index] = traceback.format_exc()
+                kinds[task.chain_index] = "poison"
+                stop_holder[0] = 0  # halt the surviving chains
+                return None
+            if chain_telemetry is not None:
+                chain_telemetry.flush(final=True)
+            self._merger.merge(job_id, task.chain_index, {
+                "labels": labels,
+                "cum": None,
+                "ops": {"chain_seconds": time.monotonic() - started_at},
+            })
+            return chain
+
+        tape_before = getattr(model, "tape_stats", lambda: None)() or {}
+        tape_before = dict(tape_before)
+
+        evaluator = BatchedEvaluator(
+            model, len(tasks), registry=self.registry, labels=labels
+        )
+        driver = BatchedChainDriver(
+            evaluator, speculate=True, registry=self.registry, labels=labels
+        )
+        for task in tasks:
+            rng, x0 = starts[task.chain_index]
+            capture = StateCapture()
+            checkpoints = (
+                CheckpointStore(task.checkpoint_dir)
+                if task.checkpoint_dir and task.checkpoint_interval > 0
+                else None
+            )
+            chain_telemetry = (
+                ChainTelemetry(
+                    task.workload, task.engine,
+                    lambda payload, chain_index=task.chain_index:
+                        self._merger.merge(job_id, chain_index, payload),
+                    flush_interval=task.metrics_interval,
+                )
+                if task.metrics_interval > 0 else None
+            )
+            hook = _iteration_hook(
+                task, capture, checkpoints, chain_telemetry,
+                emit, stop_iteration,
+            )
+            resume_state = _load_resume_state(task)
+            _resume_prologue(task, resume_state, chain_telemetry, emit)
+            gen = sampler.sample_steps(
+                x0, task.n_iterations, rng,
+                n_warmup=task.n_warmup, iteration_hook=hook,
+                state_capture=capture, resume_state=resume_state,
+                speculate=True,
+            )
+            driver.submit(task.chain_index, guarded(task, gen, chain_telemetry), rng)
+
+        results = driver.run()
+
+        tape_after = getattr(model, "tape_stats", lambda: None)() or {}
+        tape_ops = {
+            f"tape_{key}": value - tape_before.get(key, 0)
+            for key, value in tape_after.items()
+            if value - tape_before.get(key, 0)
+        }
+        if tape_ops and first.metrics_interval > 0:
+            # One shared model served every lane, so tape counters are
+            # job-level deltas, attributed once (not per chain).
+            self._merger.merge(job_id, first.chain_index, {
+                "labels": labels, "cum": None, "ops": tape_ops,
+            })
+
+        if errors:
+            raise ChainExecutionError(job_id, errors, kinds)
+        ordered = [results[task.chain_index] for task in tasks]
+        if flags["halted"]:
+            raise JobHalted(job_id, ordered)
+        if flags["deadline"]:
             raise JobDeadlineExceeded(job_id, ordered)
         return ordered
 

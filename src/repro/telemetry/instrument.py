@@ -83,6 +83,16 @@ RESILIENCE_SSE_DROPPED = "repro_resilience_sse_dropped_total"
 RESILIENCE_CHAOS_INJECTED = "repro_resilience_chaos_injected_total"
 RESILIENCE_DURABILITY_ERRORS = "repro_resilience_durability_errors_total"
 
+BATCH_ROUNDS = "repro_batch_rounds_total"
+BATCH_LANE_EVALS = "repro_batch_lane_evals_total"
+BATCH_SOLO_CALLS = "repro_batch_solo_calls_total"
+BATCH_SPEC_FILLED = "repro_batch_speculation_filled_total"
+BATCH_SPEC_HITS = "repro_batch_speculation_hits_total"
+BATCH_SPEC_MISSES = "repro_batch_speculation_misses_total"
+BATCH_DEMOTIONS = "repro_batch_demoted_instructions_total"
+BATCH_WIDTH = "repro_batch_width"
+BATCH_CHAINS = "repro_batch_chains_total"
+
 FLEET_SHARD_QUEUE_DEPTH = "repro_fleet_shard_queue_depth"
 FLEET_LEASE_EPOCH = "repro_fleet_lease_epoch"
 FLEET_LEASE_ACQUIRED = "repro_fleet_lease_acquired_total"
@@ -159,6 +169,20 @@ _HELP = {
     RESILIENCE_DURABILITY_ERRORS: (
         "Durability writes that failed and were degraded, by target"
     ),
+    BATCH_ROUNDS: "Batched replay rounds (one per batched evaluate call)",
+    BATCH_LANE_EVALS: "Per-lane gradient evaluations served by batched rounds",
+    BATCH_SOLO_CALLS: (
+        "Solo (unbatched) gradient evaluations made by the batched driver "
+        "during acquisition, calibration, or fallback"
+    ),
+    BATCH_SPEC_FILLED: "Idle lanes filled with speculative prefetch work",
+    BATCH_SPEC_HITS: "Speculative prefetches validated and consumed",
+    BATCH_SPEC_MISSES: "Speculative prefetches discarded as mispredicted",
+    BATCH_DEMOTIONS: (
+        "Tape instructions demoted from vector to lane mode by calibration"
+    ),
+    BATCH_WIDTH: "Configured lane count of the most recent batched run",
+    BATCH_CHAINS: "Chains completed through the batched replay driver",
     FLEET_SHARD_QUEUE_DEPTH: (
         "Live (pending + orphaned) entries per owned queue shard"
     ),

@@ -1,0 +1,131 @@
+"""Slow end-to-end: SIGKILL a batched serve job mid-batch, resume exactly.
+
+The batched job path runs all chains of a job in the serving process
+itself (one batched tape evaluation per round), so the process-level
+fault that matters is the death of *that* process — a SIGKILL lands in
+the middle of a batched round, possibly in the middle of an atomic
+checkpoint write. The recovery contract is the same one the worker-pool
+path guarantees: resume from the surviving checkpoints, finish batched,
+and produce draws **bit-identical** to a run that never failed.
+
+Nightly (``slow``): the killed run needs enough iterations for the kill
+signal to reliably land mid-run rather than after completion.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import batch
+from repro.serve import JobSpec
+from repro.serve.checkpoint import CheckpointStore
+from repro.serve.workers import ChainWorkerPool, chain_tasks, execute_chain
+
+SCALE = 0.25
+JOB_ID = "sigkill-batched"
+N_ITERATIONS = 300
+N_CHAINS = 3
+
+#: The parent kills the subprocess as soon as every chain has a
+#: checkpoint on disk — iteration ~5 of 300, always mid-run.
+_SCRIPT = """
+import sys
+from repro.serve import JobSpec
+from repro.serve.workers import ChainWorkerPool, chain_tasks
+
+spec = JobSpec(**{spec_kwargs!r})
+tasks = chain_tasks(spec, {job_id!r}, checkpoint_dir=sys.argv[1])
+assert ChainWorkerPool._batchable(tasks), "job did not qualify for batching"
+print("BATCHED-JOB-STARTED", flush=True)
+pool = ChainWorkerPool(n_workers=1)
+try:
+    pool.run_job(tasks)
+finally:
+    pool.shutdown()
+print("BATCHED-JOB-FINISHED", flush=True)
+"""
+
+
+def _spec_kwargs():
+    return dict(
+        workload="12cities", engine="hmc",
+        engine_options={"n_leapfrog": 8},
+        n_iterations=N_ITERATIONS, n_chains=N_CHAINS, seed=7, scale=SCALE,
+        checkpoint_interval=5,
+    )
+
+
+@pytest.mark.slow
+def test_sigkill_mid_batch_then_resume_bit_identical(tmp_path):
+    script = _SCRIPT.format(spec_kwargs=_spec_kwargs(), job_id=JOB_ID)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+    env["REPRO_BATCH"] = "1"
+    proc = subprocess.Popen(
+        [sys.executable, "-c", script, str(tmp_path)],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    store = CheckpointStore(str(tmp_path))
+    try:
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                break
+            if all(
+                store.resume_path(JOB_ID, chain) is not None
+                for chain in range(N_CHAINS)
+            ):
+                break
+            time.sleep(0.02)
+        assert proc.poll() is None, (
+            "batched job exited before it could be killed:\n"
+            + proc.communicate()[1]
+        )
+        proc.send_signal(signal.SIGKILL)
+        stdout, _stderr = proc.communicate(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    assert "BATCHED-JOB-STARTED" in stdout
+    assert "BATCHED-JOB-FINISHED" not in stdout
+
+    # The kill landed mid-run: every chain has a checkpoint strictly short
+    # of the budget, and a half-written ``.tmp`` from the kill instant must
+    # never satisfy the recovery glob (the atomic-write contract).
+    spec = JobSpec(**_spec_kwargs())
+    for chain in range(N_CHAINS):
+        record = store.load_chain(JOB_ID, chain)
+        assert record is not None
+        assert 0 <= int(record["iteration"]) < N_ITERATIONS - 1
+
+    # Resume batched and compare to a run that never failed: the restored
+    # prefix plus the batched continuation must equal the uninterrupted
+    # per-chain reference draw for draw.
+    pool = ChainWorkerPool(n_workers=1)
+    try:
+        with batch.override(True):
+            resume_tasks = chain_tasks(
+                spec, JOB_ID, checkpoint_dir=str(tmp_path), resume=True
+            )
+            assert all(t.resume_from for t in resume_tasks)
+            assert ChainWorkerPool._batchable(resume_tasks)
+            resumed = pool.run_job(resume_tasks)
+    finally:
+        pool.shutdown()
+
+    reference = [
+        execute_chain(task) for task in chain_tasks(spec, "reference")
+    ]
+    for solo, chain in zip(reference, resumed):
+        assert np.array_equal(solo.samples, chain.samples)
+        assert np.array_equal(solo.logps, chain.logps, equal_nan=True)
+        assert np.array_equal(
+            solo.work_per_iteration, chain.work_per_iteration
+        )
