@@ -23,6 +23,7 @@ True
 from repro.autodiff.tape import Var, var, constant, backward
 from repro.autodiff import ops
 from repro.autodiff import compile  # noqa: A004 - module name mirrors its role
+from repro.autodiff import suffstats
 from repro.autodiff.compile import CompiledFunction, CompiledTape, record
 from repro.autodiff.functional import value_and_grad, grad, check_grad
 
@@ -33,6 +34,7 @@ __all__ = [
     "backward",
     "ops",
     "compile",
+    "suffstats",
     "CompiledFunction",
     "CompiledTape",
     "record",

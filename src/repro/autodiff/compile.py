@@ -22,8 +22,17 @@ module removes it:
   (value-dependent statics). The fallback is transparent: callers always
   get the interpreted-exact ``(value, gradient)``.
 
-Kill switch: set ``REPRO_COMPILED_TAPE=0`` (or call :func:`disable`) to keep
-every evaluation on the interpreted path.
+Before compiling, the recorder runs the sufficient-statistics rewrite
+(:mod:`repro.autodiff.suffstats`): full-data reductions in the traced logp
+are folded into recorded constants so replay cost scales with the number
+of parameters instead of the data size. A rewritten tape reassociates
+sums, so its replays are validated under a tolerance protocol instead of
+the bitwise one and *demoted* back to the unrewritten tape on mismatch;
+``stats["suffstats_*"]`` reports what folded.
+
+Kill switches: set ``REPRO_COMPILED_TAPE=0`` (or call :func:`disable`) to
+keep every evaluation on the interpreted path; ``REPRO_SUFFSTATS=0`` to
+compile tapes without the rewrite.
 """
 
 from __future__ import annotations
@@ -38,6 +47,7 @@ from typing import Callable, List, Optional, Tuple
 import numpy as np
 
 from repro.autodiff import ops
+from repro.autodiff import suffstats as suffstats_mod
 from repro.autodiff import tape as tape_mod
 from repro.autodiff.tape import Var, _unbroadcast
 
@@ -208,7 +218,20 @@ class CompiledTape:
     same functions the interpreted path runs.
     """
 
-    def __init__(self, root: Var, leaf: Var) -> None:
+    def __init__(
+        self,
+        root: Var,
+        leaf: Var,
+        signature: Optional[tuple] = None,
+        rewrite_info=None,
+    ) -> None:
+        #: Set when this tape was built from a sufficient-statistics
+        #: rewrite of the trace (a ``suffstats.RewriteInfo``); its replays
+        #: then validate under the tolerance protocol, and ``mode``
+        #: becomes ``"exact"`` or ``"approximate"`` once validation has
+        #: compared the first replay against the interpreted reference.
+        self.rewrite_info = rewrite_info
+        self.mode: Optional[str] = None
         order = _creation_order(root)
         if leaf not in order:
             # The output does not depend on the input; keep a slot for it
@@ -259,7 +282,13 @@ class CompiledTape:
         self._input_slot = index[id(leaf)]
         self._root_slot = index[id(root)]
         self.input_shape = leaf.value.shape
-        self.signature = structure_signature(root, leaf)
+        # A rewritten tape carries the *original* trace's signature so the
+        # staleness check in ``_validated_replay`` keeps comparing against
+        # what a fresh interpreted trace of the model produces.
+        self.signature = (
+            signature if signature is not None
+            else structure_signature(root, leaf)
+        )
 
         try:
             self._call = self._emit_callable()
@@ -447,6 +476,29 @@ class CompiledTape:
     def n_instructions(self) -> int:
         return len(self._fwd_instr)
 
+    @property
+    def rewritten(self) -> bool:
+        """True when this tape came from the sufficient-statistics pass."""
+        return self.rewrite_info is not None
+
+    @property
+    def buffer_elements(self) -> int:
+        """Total forward-buffer elements — the replay's working-set size."""
+        return int(sum(
+            int(np.prod(shape, dtype=np.int64)) for shape in self._shapes
+        ))
+
+    def replay_cost_estimate(self) -> int:
+        """Model of one replay's cost: dispatch plus element traffic.
+
+        Used to decide whether a sufficient-statistics rewrite pays for
+        itself (see :data:`repro.autodiff.suffstats.INSTR_COST_ELEMENTS`).
+        """
+        return (
+            suffstats_mod.INSTR_COST_ELEMENTS * self.n_instructions
+            + self.buffer_elements
+        )
+
 
 def record(fn: Callable[[Var], Var], x: np.ndarray) -> CompiledTape:
     """Trace ``fn`` at ``x`` and return its compiled tape."""
@@ -492,6 +544,9 @@ class CompiledFunction:
             VALIDATE_CALLS if validate_calls is None else validate_calls
         )
         self._record_count = 0
+        # Set (with a reason) once a rewritten tape failed tolerance
+        # validation; later recordings then skip the rewrite for good.
+        self._suffstats_demoted: Optional[str] = None
         # Serializes record/replay/validation: tape buffers are per-tape,
         # not per-caller (see the class docstring).
         self._lock = threading.RLock()
@@ -501,6 +556,15 @@ class CompiledFunction:
             "fallbacks": 0,
             "validations": 0,
             "replay_seconds": 0.0,
+            # Sufficient-statistics rewrite (repro.autodiff.suffstats):
+            # whether the current tape is rewritten, how much it folded,
+            # whether validation found it bit-identical ("exact mode"),
+            # and how many rewrites were demoted for missing tolerance.
+            "suffstats_active": 0,
+            "suffstats_folded_ops": 0,
+            "suffstats_folded_elements": 0,
+            "suffstats_exact": 0,
+            "suffstats_demotions": 0,
         }
 
     @property
@@ -554,6 +618,37 @@ class CompiledFunction:
         self._install_tape(leaf, root)
         return value, grad
 
+    def _build_tape(self, leaf: Var, root: Var) -> CompiledTape:
+        """Compile the trace, attempting the sufficient-statistics rewrite.
+
+        The rewrite is strictly best-effort: any failure (unsupported
+        node, a bug in a rule) falls back to compiling the original trace,
+        never to interpretation. A rewritten tape is kept only when the
+        replay cost model says it beats the plain tape (small-data graphs
+        gain dispatch overhead without shedding meaningful volume), unless
+        ``suffstats.FORCE`` bypasses the comparison.
+        """
+        plain = CompiledTape(root, leaf)
+        if not suffstats_mod.enabled() or self._suffstats_demoted is not None:
+            return plain
+        try:
+            new_root, info = suffstats_mod.rewrite_graph(root, leaf)
+        except Exception:  # pragma: no cover - rewrite must never break
+            return plain
+        if info is None or new_root is root or not info.folded_ops:
+            return plain
+        try:
+            rewritten = CompiledTape(
+                new_root, leaf, signature=plain.signature, rewrite_info=info
+            )
+        except TapeUnsupportedError:  # pragma: no cover - guard
+            return plain
+        if suffstats_mod.FORCE or (
+            rewritten.replay_cost_estimate() < plain.replay_cost_estimate()
+        ):
+            return rewritten
+        return plain
+
     def _install_tape(self, leaf: Var, root: Var) -> None:
         if self._record_count >= MAX_RECORDS:
             self._give_up(
@@ -561,10 +656,18 @@ class CompiledFunction:
             )
             return
         try:
-            self._tape = CompiledTape(root, leaf)
+            self._tape = self._build_tape(leaf, root)
         except TapeUnsupportedError as exc:
             self._give_up(str(exc))
             return
+        info = self._tape.rewrite_info
+        self.stats["suffstats_active"] = 1 if info is not None else 0
+        self.stats["suffstats_folded_ops"] = (
+            info.folded_ops if info is not None else 0
+        )
+        self.stats["suffstats_folded_elements"] = (
+            info.folded_elements if info is not None else 0
+        )
         self._record_count += 1
         self.stats["records"] += 1
         self._pending_validation = self._validate_calls
@@ -588,18 +691,71 @@ class CompiledFunction:
             # tape is stale for this input, so re-record from this trace.
             self._install_tape(leaf, root)
             return ref_value, ref_grad
-        same_value = value == ref_value or (
+        bit_value = value == ref_value or (
             np.isnan(value) and np.isnan(ref_value)
         )
-        if not same_value or not np.array_equal(grad, ref_grad, equal_nan=True):
-            # Same structure but different numbers: some static argument is
-            # value-dependent; replaying would silently change results.
-            self._give_up(
-                "replay disagrees with interpreted evaluation "
-                "(value-dependent static argument?)"
-            )
-            return ref_value, ref_grad
+        bit_identical = bit_value and np.array_equal(
+            grad, ref_grad, equal_nan=True
+        )
+        if not bit_identical:
+            if tape.rewritten and self._suffstats_tolerable(
+                value, grad, ref_value, ref_grad
+            ):
+                pass  # approximate mode: within documented tolerances
+            elif tape.rewritten:
+                # The rewrite's reassociation drifted past tolerance (or a
+                # rule is wrong for this graph): demote to the unrewritten
+                # tape rather than losing compilation entirely. The
+                # re-record doesn't count against MAX_RECORDS — the graph
+                # structure didn't churn, our rewrite did.
+                self._suffstats_demoted = (
+                    "rewritten replay exceeded suffstats tolerance"
+                )
+                self.stats["suffstats_demotions"] += 1
+                warnings.warn(
+                    f"sufficient-statistics rewrite demoted for "
+                    f"{self._fn!r}: replay disagreed with interpreted "
+                    "evaluation beyond tolerance; recompiling without the "
+                    "rewrite",
+                    RuntimeWarning,
+                )
+                self._record_count -= 1
+                self._install_tape(leaf, root)
+                return ref_value, ref_grad
+            else:
+                # Same structure but different numbers on an unrewritten
+                # tape: some static argument is value-dependent; replaying
+                # would silently change results.
+                self._give_up(
+                    "replay disagrees with interpreted evaluation "
+                    "(value-dependent static argument?)"
+                )
+                return ref_value, ref_grad
+        if tape.rewritten and tape.mode is None:
+            tape.mode = "exact" if bit_identical else "approximate"
+            self.stats["suffstats_exact"] = 1 if bit_identical else 0
         self._pending_validation -= 1
         if self._pending_validation == 0:
             tape_breaker().record_success()
         return value, grad
+
+    @staticmethod
+    def _suffstats_tolerable(
+        value: float,
+        grad: np.ndarray,
+        ref_value: float,
+        ref_grad: np.ndarray,
+    ) -> bool:
+        """Tolerance comparison for rewritten tapes (reassociated sums)."""
+        rtol, atol = suffstats_mod.RTOL, suffstats_mod.ATOL
+        if value != ref_value:
+            if np.isnan(value) or np.isnan(ref_value):
+                if not (np.isnan(value) and np.isnan(ref_value)):
+                    return False
+            elif np.isinf(value) or np.isinf(ref_value):
+                return False
+            elif abs(value - ref_value) > atol + rtol * max(
+                abs(value), abs(ref_value)
+            ):
+                return False
+        return np.allclose(grad, ref_grad, rtol=rtol, atol=atol, equal_nan=True)

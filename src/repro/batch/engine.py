@@ -43,6 +43,16 @@ over and discard — elementwise ops cannot leak anything across lanes, and
 raises ``LinAlgError`` mid-forward is dead for the call (skipped by every
 later lane-mode instruction) and reports ``(-inf, 0)``, exactly like the
 solo path's exception handling in ``Model.compiled_logp_and_grad``.
+
+Interaction with the sufficient-statistics rewrite
+(:mod:`repro.autodiff.suffstats`): the batch driver acquires whatever
+tape the model compiled, so a rewritten tape batches like any other —
+its instruction list is just shorter, with the folded data sums already
+baked into constant slots. The ``dot``/``matvec`` contractions a rewrite
+introduces (Gram-matrix quadratic forms) run in lane mode here, which is
+fine: they are parameter-sized, not data-sized, so the lane loop is over
+tiny arrays. Calibration and validation apply unchanged on top of the
+rewrite's own calibrate-then-validate pass.
 """
 
 from __future__ import annotations

@@ -58,6 +58,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--batch-width", type=int, default=None, metavar="B",
                      help="lanes in the batched replay (default: one per "
                           "chain; extra lanes host speculative prefetch)")
+    run.add_argument("--no-suffstats", action="store_true",
+                     help="disable the sufficient-statistics tape rewrite "
+                          "for this run (same as REPRO_SUFFSTATS=0); with "
+                          "the rewrite on, draws match the unrewritten "
+                          "path within documented tolerances")
     run.add_argument("--max-params", type=int, default=12,
                      help="summary rows to print")
 
@@ -274,10 +279,15 @@ def cmd_census() -> None:
 
 
 def cmd_run(args) -> None:
+    from repro.autodiff import suffstats
     from repro.diagnostics import format_summary, max_rhat
     from repro.inference import run_chains
     from repro.suite import load_workload
 
+    if getattr(args, "no_suffstats", False):
+        # Process-wide for this one-command process; the tape records
+        # lazily during sampling, so this must precede the first gradient.
+        suffstats.disable()
     model = load_workload(args.workload, scale=args.scale)
     if getattr(args, "batch", False):
         from repro import batch
@@ -331,6 +341,14 @@ def cmd_run(args) -> None:
     print(f"R-hat (worst): {max_rhat(draws):.3f}   "
           f"divergences: {result.divergences}   "
           f"work: {result.total_work:.0f} gradient evals")
+    tape_stats = model.tape_stats()
+    if tape_stats and tape_stats.get("suffstats_active"):
+        mode = "exact" if tape_stats.get("suffstats_exact") else "approximate"
+        print(f"suffstats rewrite: active ({mode}), "
+              f"{tape_stats['suffstats_folded_ops']} folds, "
+              f"{int(tape_stats['suffstats_folded_elements']):,d} "
+              f"elements/iteration eliminated, "
+              f"{tape_stats['suffstats_demotions']} demotions")
     names = model.flat_param_names()
     keep = min(args.max_params, len(names))
     print(format_summary(draws[:, :, :keep], names[:keep]))

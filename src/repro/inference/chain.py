@@ -158,7 +158,10 @@ def run_chains(
                 f"tape_{key}": value - tape_before.get(key, 0)
                 for key, value in stats.items()
             }
-            telemetry.observe_tape_stats(telemetry.get_registry(), deltas)
+            telemetry.observe_tape_stats(
+                telemetry.get_registry(), deltas,
+                labels={"workload": model.name},
+            )
 
     return SamplingResult(
         model_name=model.name,

@@ -37,6 +37,10 @@ from repro.telemetry.instrument import (
     SAMPLER_DIVERGENCES,
     SAMPLER_ITERATIONS,
     SAMPLER_WORK,
+    TAPE_SUFFSTATS_ACTIVE,
+    TAPE_SUFFSTATS_DEMOTIONS,
+    TAPE_SUFFSTATS_FOLDED_ELEMENTS,
+    TAPE_SUFFSTATS_FOLDED_OPS,
 )
 
 
@@ -301,6 +305,76 @@ def _batch_section(snapshot: TelemetrySnapshot) -> List[str]:
     return lines
 
 
+_SUFFSTATS_COUNTERS = {
+    TAPE_SUFFSTATS_FOLDED_OPS,
+    TAPE_SUFFSTATS_FOLDED_ELEMENTS,
+    TAPE_SUFFSTATS_DEMOTIONS,
+}
+
+
+def _suffstats_section(snapshot: TelemetrySnapshot) -> List[str]:
+    """Sufficient-statistics rewrite provenance, when any tape folded.
+
+    Reports folded-op and folded-element counts (the per-replay data
+    volume turned into record-time constants by
+    :mod:`repro.autodiff.suffstats`) plus tolerance-validation demotions.
+    Silent when no tape rewrote — small models and ``REPRO_SUFFSTATS=0``
+    leave these counters untouched.
+    """
+    if snapshot.empty:
+        return []
+    per_label: dict = {}
+    for entry in snapshot.metrics.get("counters", []):
+        if entry["name"] not in _SUFFSTATS_COUNTERS:
+            continue
+        labels = dict(tuple(pair) for pair in entry["labels"])
+        key = labels.get("workload", "?")
+        row = per_label.setdefault(key, {})
+        row[entry["name"]] = row.get(entry["name"], 0.0) + entry["value"]
+    active: dict = {}
+    for entry in snapshot.metrics.get("gauges", []):
+        if entry["name"] == TAPE_SUFFSTATS_ACTIVE:
+            labels = dict(tuple(pair) for pair in entry["labels"])
+            key = labels.get("workload", "?")
+            active[key] = active.get(key, 0.0) + entry["value"]
+    keys = sorted(set(per_label) | set(active))
+    keys = [
+        key for key in keys
+        if per_label.get(key, {}).get(TAPE_SUFFSTATS_FOLDED_OPS)
+        or active.get(key)
+    ]
+    if not keys:
+        return []
+
+    lines = [
+        "## Sufficient-statistics rewrite (measured)",
+        "",
+        "Tapes whose data-sum likelihood subgraphs were folded into "
+        "record-time constants; *elements/replay* is the array volume "
+        "each gradient evaluation no longer touches.",
+        "",
+    ]
+    rows = []
+    for key in keys:
+        row = per_label.get(key, {})
+        rows.append([
+            key,
+            "yes" if active.get(key) else "no",
+            f"{row.get(TAPE_SUFFSTATS_FOLDED_OPS, 0.0):,.0f}",
+            f"{row.get(TAPE_SUFFSTATS_FOLDED_ELEMENTS, 0.0):,.0f}",
+            f"{row.get(TAPE_SUFFSTATS_DEMOTIONS, 0.0):.0f}",
+        ])
+    lines.extend([
+        _table(
+            ["workload", "active", "folded ops", "elements/replay",
+             "demotions"],
+            rows,
+        ),
+        "",
+    ])
+    return lines
+
+
 def _speedup_table(runner: SuiteRunner) -> tuple[str, float]:
     results = evaluate_overall(runner, detector=ConvergenceDetector())
     rows = []
@@ -369,6 +443,7 @@ def generate_report(
         "(paper: 5.8x).",
         "",
         *_telemetry_section(telemetry_snapshot),
+        *_suffstats_section(telemetry_snapshot),
         *_batch_section(telemetry_snapshot),
         *_amortize_section(telemetry_snapshot),
     ]

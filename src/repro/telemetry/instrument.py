@@ -57,6 +57,10 @@ TAPE_RECORDS = "repro_tape_records_total"
 TAPE_REPLAYS = "repro_tape_replays_total"
 TAPE_FALLBACKS = "repro_tape_fallbacks_total"
 TAPE_REPLAY_SECONDS = "repro_tape_replay_seconds_total"
+TAPE_SUFFSTATS_ACTIVE = "repro_tape_suffstats_active"
+TAPE_SUFFSTATS_FOLDED_OPS = "repro_tape_suffstats_folded_ops"
+TAPE_SUFFSTATS_FOLDED_ELEMENTS = "repro_tape_suffstats_folded_elements"
+TAPE_SUFFSTATS_DEMOTIONS = "repro_tape_suffstats_demotions_total"
 
 AMORTIZE_SERVED = "repro_amortize_served_total"
 AMORTIZE_ESCALATIONS = "repro_amortize_escalations_total"
@@ -133,6 +137,18 @@ _HELP = {
     TAPE_REPLAYS: "Compiled-tape replays (cache hits)",
     TAPE_FALLBACKS: "Gradient evaluations interpreted after tape fallback",
     TAPE_REPLAY_SECONDS: "Cumulative wall time spent in tape replays",
+    TAPE_SUFFSTATS_ACTIVE: (
+        "1 while the sufficient-statistics rewritten tape is installed"
+    ),
+    TAPE_SUFFSTATS_FOLDED_OPS: (
+        "Data-pass folds the suffstats rewrite performed on this tape"
+    ),
+    TAPE_SUFFSTATS_FOLDED_ELEMENTS: (
+        "Per-replay array elements the suffstats rewrite eliminated"
+    ),
+    TAPE_SUFFSTATS_DEMOTIONS: (
+        "Rewritten tapes demoted after failing tolerance validation"
+    ),
     AMORTIZE_SERVED: "Requests answered by an amortized serving tier",
     AMORTIZE_ESCALATIONS: "Checked-tier requests escalated to exact inference",
     AMORTIZE_GUIDE_TRAINS: "Amortized guides trained (cache misses)",
@@ -415,6 +431,10 @@ _TAPE_METRICS = {
     "tape_replays": TAPE_REPLAYS,
     "tape_fallbacks": TAPE_FALLBACKS,
     "tape_replay_seconds": TAPE_REPLAY_SECONDS,
+    "tape_suffstats_active": TAPE_SUFFSTATS_ACTIVE,
+    "tape_suffstats_folded_ops": TAPE_SUFFSTATS_FOLDED_OPS,
+    "tape_suffstats_folded_elements": TAPE_SUFFSTATS_FOLDED_ELEMENTS,
+    "tape_suffstats_demotions": TAPE_SUFFSTATS_DEMOTIONS,
 }
 
 
@@ -427,16 +447,25 @@ def observe_tape_stats(
 
     ``deltas`` may be any mapping containing (a subset of) the
     ``tape_records`` / ``tape_replays`` / ``tape_fallbacks`` /
-    ``tape_replay_seconds`` keys — a worker's ops payload or an in-process
-    before/after difference of ``model.tape_stats()``.
+    ``tape_replay_seconds`` / ``tape_suffstats_*`` keys — a worker's ops
+    payload or an in-process before/after difference of
+    ``model.tape_stats()``.
+
+    ``tape_suffstats_active`` is a gauge (its delta goes negative when a
+    rewritten tape is demoted); everything else is a monotone counter.
     """
     labels = dict(labels or {})
     for key, metric in _TAPE_METRICS.items():
         amount = deltas.get(key, 0)
         if amount:
-            registry.counter(metric, labels, help=_HELP[metric]).inc(
-                float(amount)
-            )
+            if metric == TAPE_SUFFSTATS_ACTIVE:
+                registry.gauge(metric, labels, help=_HELP[metric]).inc(
+                    float(amount)
+                )
+            else:
+                registry.counter(metric, labels, help=_HELP[metric]).inc(
+                    float(amount)
+                )
 
 
 # -- parent-side merging -------------------------------------------------------

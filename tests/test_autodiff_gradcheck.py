@@ -7,6 +7,13 @@ at randomized points — in *interpreted* mode (graph of closures) and in
 *compiled* mode (tape replay), so both execution paths of the same kernel
 are covered. A coverage assertion fails the suite the moment someone
 registers a kernel without adding a builder here.
+
+A third battery drives finite differences through *rewritten* tapes: every
+kernel the sufficient-statistics pass can touch
+(:data:`repro.autodiff.suffstats.REDUCIBLE_KERNELS`) gets a builder whose
+graph actually folds, so the gradient of the reassociated form — segment
+sums, absorbed constants, precomputed Gram matrices — is FD-verified too.
+Its own coverage assertion keeps the set in sync with the rewriter.
 """
 
 import zlib
@@ -14,7 +21,7 @@ import zlib
 import numpy as np
 import pytest
 
-from repro.autodiff import ops
+from repro.autodiff import ops, suffstats
 from repro.autodiff.compile import CompiledFunction
 from repro.autodiff.functional import value_and_grad
 from repro.autodiff.tape import Var, constant
@@ -186,3 +193,136 @@ def test_kernel_gradient_matches_finite_differences(name, mode, seed):
     if mode == "compiled":
         assert evaluate.stats["replays"] > 0
         assert evaluate.stats["fallbacks"] == 0
+
+
+# -----------------------------------------------------------------------------
+# Rewritten-tape cases: one builder per kernel the suffstats pass rewrites.
+# Every builder's graph must actually fold (asserted per-test), so the FD
+# check runs through the reassociated tape rather than the plain one.
+# -----------------------------------------------------------------------------
+
+#: 16 observations gathered from a 4-wide parameter base — oversampled
+#: enough that the segment-sum fold always pays.
+_IDX16 = np.tile(np.arange(4), 4)
+_W16 = np.linspace(0.25, 2.0, 16)
+_Y16 = np.linspace(-1.5, 2.0, 16)
+_M12 = np.linspace(-1.0, 1.0, 36).reshape(12, 3)
+
+#: 12 gathers over a 3-wide base, for the unary-commute builders.
+_GIDX = np.tile(np.arange(3), 4)
+_GW = np.linspace(0.3, 1.8, 12)
+
+
+def _commute_case(unary, base=None):
+    """Σ w ⊙ f(take(base(x), idx)): f commutes into the gather and the
+    gather folds to a segment sum, so the rewritten tape applies ``f`` to
+    the 3-wide base instead of the 12-wide gathered array."""
+    def build(x):
+        b = x if base is None else base(x)
+        return ops.reduce_sum(
+            ops.mul(constant(_GW), unary(ops.take(b, _GIDX)))
+        )
+    return (3, build)
+
+
+def _pos(x):
+    """A strictly positive 1-D base for partial-domain kernels."""
+    return ops.add(ops.exp(x), 0.5)
+
+
+def _shifted(x):
+    """A base far from |·| and clip kinks so central differences hold."""
+    return ops.add(x, 10.0)
+
+
+REWRITTEN_CASES = {
+    # structural kernels
+    "reduce_sum": (1, lambda x: ops.neg(ops.reduce_sum(ops.square(
+        ops.sub(constant(_Y16), ops.take(x, np.zeros(16, dtype=np.int64)))
+    )))),
+    "add": (4, lambda x: ops.reduce_sum(
+        ops.add(ops.take(x, _IDX16), constant(_Y16))
+    )),
+    "sub": (4, lambda x: ops.reduce_sum(ops.square(
+        ops.sub(constant(_Y16), ops.take(x, _IDX16))
+    ))),
+    "mul": (4, lambda x: ops.reduce_sum(
+        ops.mul(constant(_Y16), ops.take(x, _IDX16))
+    )),
+    "div": (4, lambda x: ops.reduce_sum(
+        ops.div(ops.take(x, _IDX16), constant(np.abs(_Y16) + 1.0))
+    )),
+    "take": (4, lambda x: ops.reduce_sum(
+        ops.mul(constant(_W16), ops.take(x, _IDX16))
+    )),
+    "getitem": (6, lambda x: ops.reduce_sum(ops.square(
+        ops.sub(constant(_Y16), ops.take(x[1:5], _IDX16))
+    ))),
+    "matvec": (3, lambda x: ops.reduce_sum(
+        ops.matvec(constant(_M12), x)
+    )),
+    # the regression quadratic form: its rewrite *emits* dot(v, Gram @ v)
+    "dot": (3, lambda x: ops.reduce_sum(ops.square(
+        ops.sub(constant(np.linspace(0.5, 1.5, 12)),
+                ops.matvec(constant(_M12), x))
+    ))),
+    # unary kernels commuted into the gather (total-domain)
+    "neg": _commute_case(ops.neg),
+    "square": _commute_case(ops.square),
+    "absolute": _commute_case(ops.absolute, base=_shifted),
+    "exp": _commute_case(ops.exp),
+    "expm1": _commute_case(ops.expm1),
+    "sin": _commute_case(ops.sin),
+    "cos": _commute_case(ops.cos),
+    "tanh": _commute_case(ops.tanh),
+    "arctan": _commute_case(ops.arctan),
+    "sigmoid": _commute_case(ops.sigmoid),
+    "softplus": _commute_case(ops.softplus),
+    "log_sigmoid": _commute_case(ops.log_sigmoid),
+    "erf": _commute_case(ops.erf),
+    "normal_cdf": _commute_case(ops.normal_cdf),
+    "clip_min": _commute_case(lambda a: ops.clip_min(a, 0.5), base=_shifted),
+    # partial-domain kernels: positive base, gather covers every entry
+    "log": _commute_case(ops.log, base=_pos),
+    "log1p": _commute_case(ops.log1p, base=_pos),
+    "sqrt": _commute_case(ops.sqrt, base=_pos),
+    "lgamma": _commute_case(ops.lgamma, base=_pos),
+    "power": _commute_case(lambda a: ops.power(a, 2.5), base=_pos),
+}
+
+
+def test_every_reducible_kernel_has_a_rewritten_case():
+    missing = suffstats.REDUCIBLE_KERNELS - set(REWRITTEN_CASES)
+    assert not missing, (
+        f"rewrite-eligible kernels without a rewritten-tape FD case: "
+        f"{sorted(missing)} — add builders to REWRITTEN_CASES"
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+@pytest.mark.parametrize("name", sorted(REWRITTEN_CASES), ids=str)
+def test_rewritten_tape_gradient_matches_finite_differences(name, seed):
+    dim, fn = REWRITTEN_CASES[name]
+    rng = np.random.default_rng(zlib.crc32(name.encode()) * 6151 + seed)
+    x = rng.normal(scale=0.7, size=dim)
+
+    with suffstats.override(True), suffstats.force_override(True):
+        compiled = CompiledFunction(fn, validate_calls=0)
+        compiled(x)  # record (and rewrite)
+    assert compiled.broken is None, (
+        f"{name}: rewritten tape did not compile ({compiled.broken})"
+    )
+    assert compiled.stats["suffstats_active"] == 1, (
+        f"{name}: builder did not trigger the rewrite — the FD check would "
+        f"run the plain tape (stats={compiled.stats})"
+    )
+    assert compiled.stats["suffstats_folded_ops"] > 0
+
+    value, grad = compiled(x)
+    assert np.isfinite(value)
+    fd = _finite_difference(compiled, x, 1e-6)
+    assert np.allclose(grad, fd, rtol=5e-4, atol=5e-6), (
+        f"{name} [rewritten]: analytic gradient disagrees with central "
+        f"differences\nanalytic={grad}\nfd={fd}"
+    )
+    assert compiled.stats["fallbacks"] == 0

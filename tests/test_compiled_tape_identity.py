@@ -7,12 +7,21 @@ interpreted path — from identical seeds. The acceptance bar is
 same bits. This is what lets the serve layer switch models to compiled
 gradients without invalidating checkpoint resume, mid-run elision, or any
 other determinism the test suite already guarantees.
+
+The sufficient-statistics rewrite (:mod:`repro.autodiff.suffstats`) is
+pinned **off** here: it deliberately reassociates data sums, so its replay
+matches interpretation within tolerances rather than bitwise. This battery
+checks the replay *mechanics* are exact; the rewritten path has its own
+equivalence battery in ``tests/test_suffstats_identity.py``. Determinism
+guarantees (resume, serve-vs-sequential) are unaffected by the rewrite
+because both sides of those comparisons run the same tape.
 """
 
 import numpy as np
 import pytest
 
 from repro.autodiff import compile as tape_compile
+from repro.autodiff import suffstats
 from repro.inference.chain import run_chains
 from repro.inference.hmc import HMC
 from repro.inference.metropolis import MetropolisHastings
@@ -67,7 +76,7 @@ def _matrix():
 
 def _run(workload: str, engine: str, compiled: bool):
     factory, n_iterations = ENGINES[engine]
-    with tape_compile.override(compiled):
+    with tape_compile.override(compiled), suffstats.override(False):
         model = load_workload(workload, scale=SCALE)
         result = run_chains(
             model, factory(), n_iterations=n_iterations, n_chains=2,

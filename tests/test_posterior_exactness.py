@@ -18,6 +18,7 @@ to ~sd/sqrt(ESS)). Long chains make the MCSE small, so these run nightly
 import numpy as np
 import pytest
 
+from repro.autodiff import suffstats
 from repro.diagnostics.ess import effective_sample_size
 from repro.inference.chain import run_chains
 from repro.inference.nuts import NUTS
@@ -146,3 +147,62 @@ def test_nuts_recovers_conjugate_posterior(model_cls):
     # cover it.
     stats = model.tape_stats()
     assert stats is not None and stats["replays"] > 0
+
+
+class LargeNormalNormal(NormalNormal):
+    """The same conjugate setup at N = 10^5 observations.
+
+    At this size the sufficient-statistics rewrite engages on its own
+    replay-cost model (no forcing): the likelihood collapses to the
+    (Σy, Σy², n) statistics and replay cost is O(parameters). The closed
+    form makes this the sharpest end-to-end check the rewrite has — the
+    posterior sd is ~4e-3, so a wrong folded constant moves the recovered
+    mean by many MCSEs.
+    """
+
+    name = "normal_normal_large"
+    n_obs = 100_000
+
+    def __init__(self) -> None:
+        BayesianModel.__init__(self)
+        rng = np.random.default_rng(314)
+        self.add_data(y=rng.normal(3.0, self.sigma, size=self.n_obs))
+
+
+def test_nuts_recovers_conjugate_posterior_large_n_suffstats():
+    model = LargeNormalNormal()
+    true_mean, true_sd = model.analytic_posterior()
+
+    with suffstats.override(True):
+        result = run_chains(
+            model, NUTS(), n_iterations=2000, n_chains=2, seed=SEED,
+        )
+        stats = model.tape_stats()
+
+    # The rewrite must have engaged without forcing — that is the point of
+    # the large-N regime — and never been demoted mid-run.
+    assert stats is not None and stats["replays"] > 0
+    assert stats["suffstats_active"] == 1, stats
+    assert stats["suffstats_folded_ops"] > 0, stats
+    assert stats["suffstats_demotions"] == 0, stats
+    assert stats["fallbacks"] == 0, stats
+
+    draws = _constrained_draws(model, result)
+    flat = draws.reshape(-1)
+    ess = max(
+        sum(effective_sample_size(draws[c]) for c in range(draws.shape[0])),
+        10.0,
+    )
+    mcse_mean = true_sd / np.sqrt(ess)
+    mcse_sd = true_sd * np.sqrt(0.5 / ess)
+
+    sample_mean = flat.mean()
+    sample_sd = flat.std(ddof=1)
+    assert abs(sample_mean - true_mean) < 4.0 * mcse_mean, (
+        f"large-N: posterior mean {sample_mean:.6f} vs analytic "
+        f"{true_mean:.6f} (ESS={ess:.0f}, 4*MCSE={4 * mcse_mean:.6f})"
+    )
+    assert abs(sample_sd - true_sd) < 5.0 * mcse_sd, (
+        f"large-N: posterior sd {sample_sd:.6f} vs analytic "
+        f"{true_sd:.6f} (ESS={ess:.0f}, 5*MCSE={5 * mcse_sd:.6f})"
+    )
